@@ -1,0 +1,103 @@
+// Command seefig regenerates the data series behind the paper's evaluation
+// figures (Figs. 2–7). Output is tab-separated, gnuplot-ready.
+//
+// Usage:
+//
+//	seefig -fig 3 -trials 20        # Fig. 3(a) sweep + (b)(c) CDFs
+//	seefig -fig 2                   # Fig. 2 motivation table
+//	seefig -fig all -trials 100     # everything, paper-scale trials
+//
+// Lower -trials for a quick look; the paper uses 100.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"see/internal/experiment"
+)
+
+type figure struct {
+	id  string
+	run func(experiment.Params) (*experiment.Sweep, error)
+	// cdfAt lists the sweep x-values whose per-pair CDFs the paper plots
+	// as subfigures (b) and (c).
+	cdfAt [2]float64
+}
+
+var figures = []figure{
+	{"3", experiment.Fig3LinkCapacity, [2]float64{2, 7}},
+	{"4", experiment.Fig4Alpha, [2]float64{1, 5}},
+	{"5", experiment.Fig5SwapProb, [2]float64{0.5, 1.0}},
+	{"6", experiment.Fig6Nodes, [2]float64{100, 500}},
+	{"7", experiment.Fig7SDPairs, [2]float64{20, 50}},
+}
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "figure to regenerate: 2..7 or all")
+		trials = flag.Int("trials", 20, "trials per data point (paper: 100)")
+		seed   = flag.Int64("seed", 20220101, "base random seed")
+		cdfs   = flag.Bool("cdfs", true, "also print the (b)/(c) per-pair CDFs")
+	)
+	flag.Parse()
+
+	if *fig == "2" || *fig == "all" {
+		printMotivation()
+		if *fig == "2" {
+			return
+		}
+	}
+
+	base := experiment.DefaultParams()
+	base.Trials = *trials
+	base.BaseSeed = *seed
+
+	ran := false
+	for _, f := range figures {
+		if *fig != "all" && *fig != f.id {
+			continue
+		}
+		ran = true
+		sw, err := f.run(base)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seefig: figure %s: %v\n", f.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("### Figure %s(a)\n%s\n", f.id, sw.Table())
+		if *cdfs {
+			printCDFs(f, sw)
+		}
+	}
+	if !ran && *fig != "all" && *fig != "2" {
+		fmt.Fprintf(os.Stderr, "seefig: unknown -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func printMotivation() {
+	r := experiment.Motivation()
+	fmt.Println("### Figure 2 (motivation example, expected connections)")
+	fmt.Printf("conventional (Fig. 2c)\t%.3f\n", r.Conventional)
+	fmt.Printf("SEE (Fig. 2d)\t%.3f\n", r.SEE)
+	fmt.Printf("improvement\t%.2fx\n\n", r.SEE/r.Conventional)
+}
+
+func printCDFs(f figure, sw *experiment.Sweep) {
+	for sub, x := range f.cdfAt {
+		for _, pt := range sw.Points {
+			if pt.X != x {
+				continue
+			}
+			fmt.Printf("### Figure %s(%c): per-SD-pair throughput CDF at %s = %g\n",
+				f.id, 'b'+sub, sw.XLabel, x)
+			for _, alg := range experiment.Algorithms {
+				cdf := pt.Results[alg].PerPairCDF
+				fmt.Printf("# %s\n", alg)
+				fmt.Print(cdf.Table())
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,150 @@
+// Command seesim runs one simulation configuration and prints per-slot and
+// aggregate throughput for the selected scheduler(s).
+//
+// Usage:
+//
+//	seesim -nodes 200 -pairs 20 -slots 1 -trials 20 -alg all
+//
+// Each trial draws a fresh topology and SD pairs from the seed; all
+// schedulers see identical instances.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"see"
+	"see/internal/xrand"
+)
+
+func main() {
+	var (
+		nodes    = flag.Int("nodes", 200, "number of quantum nodes")
+		pairs    = flag.Int("pairs", 20, "number of SD pairs")
+		channels = flag.Int("channels", 3, "quantum channels per link")
+		memory   = flag.Int("memory", 10, "quantum memory per node")
+		swap     = flag.Float64("swap", 0.9, "quantum swapping success probability")
+		alpha    = flag.Float64("alpha", 2e-4, "attenuation parameter in p = exp(-alpha*l)+delta")
+		trials   = flag.Int("trials", 10, "independent trials (topology redrawn each)")
+		slots    = flag.Int("slots", 1, "time slots per trial")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		alg      = flag.String("alg", "all", "scheduler: see, reps, e2e or all")
+		topoName = flag.String("topo", "waxman", "topology: waxman or nsfnet")
+		traffic  = flag.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
+	)
+	flag.Parse()
+
+	algs, err := parseAlgs(*alg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	cfg := see.DefaultNetworkConfig()
+	cfg.Nodes = *nodes
+	cfg.Channels = *channels
+	cfg.Memory = *memory
+	cfg.SwapProb = *swap
+	cfg.Alpha = *alpha
+
+	pattern, err := parseTraffic(*traffic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	totals := make(map[see.Algorithm]float64, len(algs))
+	bounds := make(map[see.Algorithm]float64, len(algs))
+	slotCount := 0
+	for trial := 0; trial < *trials; trial++ {
+		trialSeed := *seed + int64(trial)
+		net, sdPairs, err := buildInstance(*topoName, cfg, *pairs, pattern, trialSeed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "trial %d: %v\n", trial, err)
+			os.Exit(1)
+		}
+		for _, a := range algs {
+			sched, err := see.NewScheduler(a, net, sdPairs, nil)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
+				os.Exit(1)
+			}
+			bounds[a] += sched.UpperBound()
+			rng := xrand.ForTrial(trialSeed, 1000)
+			for s := 0; s < *slots; s++ {
+				res, err := sched.RunSlot(rng)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
+					os.Exit(1)
+				}
+				totals[a] += float64(res.Established)
+			}
+		}
+		slotCount += *slots
+	}
+
+	fmt.Printf("# topo=%s traffic=%s, %d SD pairs, %d channels, %d memory, q=%.2f, alpha=%.1e\n",
+		strings.ToLower(*topoName), strings.ToLower(*traffic), *pairs, *channels, *memory, *swap, *alpha)
+	if strings.EqualFold(*topoName, "waxman") {
+		fmt.Printf("# %d nodes\n", *nodes)
+	}
+	fmt.Printf("# %d trials x %d slots\n", *trials, *slots)
+	fmt.Printf("%-6s %-18s %-14s\n", "alg", "throughput(qbps)", "LP bound/slot")
+	for _, a := range algs {
+		fmt.Printf("%-6s %-18.3f %-14.3f\n",
+			a, totals[a]/float64(slotCount), bounds[a]/float64(*trials))
+	}
+}
+
+// buildInstance draws one trial's topology and demand set.
+func buildInstance(topoName string, cfg see.NetworkConfig, pairs int, pattern see.Traffic, seed int64) (*see.Network, []see.SDPair, error) {
+	switch strings.ToLower(topoName) {
+	case "waxman":
+		if pattern == see.TrafficUniform {
+			return see.GenerateNetwork(cfg, pairs, seed)
+		}
+		net, _, err := see.GenerateNetwork(cfg, 0, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, see.ChoosePairsWithTraffic(net, pairs, pattern, seed+1), nil
+	case "nsfnet":
+		net, err := see.NSFNETNetwork(cfg, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		return net, see.ChoosePairsWithTraffic(net, pairs, pattern, seed+1), nil
+	default:
+		return nil, nil, fmt.Errorf("seesim: unknown -topo %q (want waxman or nsfnet)", topoName)
+	}
+}
+
+func parseTraffic(s string) (see.Traffic, error) {
+	switch strings.ToLower(s) {
+	case "uniform":
+		return see.TrafficUniform, nil
+	case "hotspot":
+		return see.TrafficHotspot, nil
+	case "gravity":
+		return see.TrafficGravity, nil
+	default:
+		return 0, fmt.Errorf("seesim: unknown -traffic %q (want uniform, hotspot or gravity)", s)
+	}
+}
+
+func parseAlgs(s string) ([]see.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "all":
+		return []see.Algorithm{see.SEE, see.REPS, see.E2E}, nil
+	case "see":
+		return []see.Algorithm{see.SEE}, nil
+	case "reps":
+		return []see.Algorithm{see.REPS}, nil
+	case "e2e":
+		return []see.Algorithm{see.E2E}, nil
+	default:
+		return nil, fmt.Errorf("seesim: unknown -alg %q (want see, reps, e2e or all)", s)
+	}
+}

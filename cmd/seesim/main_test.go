@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestParseAlgs(t *testing.T) {
+	if got, err := parseAlgs("all"); err != nil || len(got) != 3 {
+		t.Fatalf("all -> %v, %v", got, err)
+	}
+	for _, name := range []string{"see", "SEE", "reps", "e2e"} {
+		got, err := parseAlgs(name)
+		if err != nil || len(got) != 1 {
+			t.Fatalf("%s -> %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseAlgs("bogus"); err == nil {
+		t.Fatal("bogus algorithm accepted")
+	}
+}
+
+func TestParseTraffic(t *testing.T) {
+	for _, name := range []string{"uniform", "hotspot", "gravity", "Gravity"} {
+		if _, err := parseTraffic(name); err != nil {
+			t.Fatalf("%s rejected: %v", name, err)
+		}
+	}
+	if _, err := parseTraffic("nope"); err == nil {
+		t.Fatal("bad traffic accepted")
+	}
+}

@@ -1,0 +1,98 @@
+// Command seetopo generates a Waxman quantum data network and prints its
+// statistics: degree, link-length and single-link success-probability
+// distributions, plus the candidate-segment census for a demand set. Useful
+// for calibrating topologies against the paper's stated operating point
+// (mean single-link success ≈ 0.8 at α = 2e-4).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"see/internal/graph"
+	"see/internal/segment"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+func main() {
+	var (
+		nodes = flag.Int("nodes", 200, "number of quantum nodes")
+		pairs = flag.Int("pairs", 20, "SD pairs for the segment census")
+		alpha = flag.Float64("alpha", 2e-4, "attenuation parameter")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	cfg := topo.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Alpha = *alpha
+	rng := xrand.New(*seed)
+	net, err := topo.Generate(cfg, xrand.Split(rng))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seetopo:", err)
+		os.Exit(1)
+	}
+	st := topo.Summarize(net)
+	fmt.Printf("nodes\t%d\nlinks\t%d\navg degree\t%.2f\nmean link\t%.0f km\nmedian link\t%.0f km\nmean link success\t%.3f\ncomponents\t%d\n",
+		st.Nodes, st.Links, st.AvgDegree, st.MeanLinkKM, st.MedianLinkKM, st.MeanLinkProb, st.Components)
+
+	// Degree histogram.
+	hist := map[int]int{}
+	maxDeg := 0
+	for u := 0; u < net.NumNodes(); u++ {
+		d := net.G.Degree(u)
+		hist[d]++
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	fmt.Println("\n# degree histogram")
+	for d := 0; d <= maxDeg; d++ {
+		if hist[d] > 0 {
+			fmt.Printf("%d\t%d\n", d, hist[d])
+		}
+	}
+
+	// SD-pair hop distances.
+	sd := topo.ChooseSDPairs(net, *pairs, xrand.Split(rng))
+	var hops []int
+	for _, p := range sd {
+		h := graph.BFSHops(net.G, p.S)[p.D]
+		hops = append(hops, h)
+	}
+	sort.Ints(hops)
+	fmt.Println("\n# SD pair hop distances (sorted)")
+	for _, h := range hops {
+		fmt.Printf("%d ", h)
+	}
+	fmt.Println()
+
+	// Candidate segment census with SEE defaults.
+	opts := segment.DefaultOptions()
+	opts.MaxSegmentHops = 10
+	set, err := segment.Build(net, sd, opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "seetopo:", err)
+		os.Exit(1)
+	}
+	byHops := map[int]int{}
+	for _, list := range set.ByPair {
+		for _, c := range list {
+			byHops[c.Hops()]++
+		}
+	}
+	fmt.Printf("\n# candidate segments: %d realizations over %d endpoint pairs\n",
+		set.NumCandidates(), set.NumPairsWithCandidates())
+	fmt.Println("# hops\tcount")
+	var hs []int
+	for h := range byHops {
+		hs = append(hs, h)
+	}
+	sort.Ints(hs)
+	for _, h := range hs {
+		fmt.Printf("%d\t%d\n", h, byHops[h])
+	}
+}

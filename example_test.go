@@ -1,0 +1,65 @@
+package see_test
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"see"
+)
+
+// The basic loop: generate a network, build a scheduler, run time slots.
+func ExampleNewScheduler() {
+	cfg := see.DefaultNetworkConfig()
+	cfg.Nodes = 60
+	net, pairs, err := see.GenerateNetwork(cfg, 6, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := see.NewScheduler(see.SEE, net, pairs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sched.RunSlot(rand.New(rand.NewSource(7)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Established >= 0 && len(res.PerPair) == 6)
+	// Output: true
+}
+
+// The Fig. 2 values are exact.
+func ExampleMotivationExample() {
+	conv, seg := see.MotivationExample()
+	fmt.Printf("conventional %.3f, segmented %.3f\n", conv, seg)
+	// Output: conventional 0.729, segmented 1.489
+}
+
+// The reference NSFNET topology ships with the library.
+func ExampleNSFNETNetwork() {
+	net, err := see.NSFNETNetwork(see.DefaultNetworkConfig(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(net.NumNodes(), net.NumLinks())
+	// Output: 14 21
+}
+
+// A queued-qubit workload over many slots.
+func ExampleRunWorkload() {
+	net, pairs := see.MotivationNetwork()
+	sched, err := see.NewScheduler(see.SEE, net, pairs, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := see.RunWorkload(sched, len(pairs), see.WorkloadConfig{
+		Slots:           20,
+		ArrivalsPerPair: 0.5,
+		Seed:            3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.Arrived == res.Delivered+res.Dropped+res.Backlog)
+	// Output: true
+}

@@ -1,0 +1,45 @@
+// Sweep runs a reduced-scale version of the paper's Fig. 3 experiment:
+// network throughput versus per-link channel capacity for SEE, REPS and
+// E2E, plus the per-SD-pair throughput CDF at the largest capacity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"see"
+)
+
+func main() {
+	fmt.Println("throughput vs link capacity (reduced scale: 80 nodes, 8 pairs, 10 trials)")
+	fmt.Printf("%-10s %-10s %-10s %-10s\n", "capacity", "SEE", "REPS", "E2E")
+
+	var last map[see.Algorithm]see.PointResult
+	for _, channels := range []int{2, 3, 4, 5} {
+		p := see.DefaultExperimentParams()
+		p.Nodes = 80
+		p.SDPairs = 8
+		p.Channels = channels
+		p.Trials = 10
+		res, err := see.RunExperiment(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d %-10.2f %-10.2f %-10.2f\n",
+			channels,
+			res[see.SEE].MeanThroughput,
+			res[see.REPS].MeanThroughput,
+			res[see.E2E].MeanThroughput)
+		last = res
+	}
+
+	fmt.Println("\nper-SD-pair throughput CDF at capacity 5 (first trial):")
+	for _, alg := range []see.Algorithm{see.SEE, see.REPS, see.E2E} {
+		pr := last[alg]
+		fmt.Printf("%-5s:", alg)
+		for i := range pr.CDFXs {
+			fmt.Printf("  P(x<=%g)=%.2f", pr.CDFXs[i], pr.CDFPs[i])
+		}
+		fmt.Printf("   (Jain fairness %.2f)\n", pr.Jain)
+	}
+}

@@ -1,0 +1,100 @@
+// Workload drives the three schedulers against the same multi-slot qubit
+// workload (the scenario the paper's introduction motivates: networking
+// quantum computers that continuously produce qubits to teleport) and
+// compares delivery rate, queueing latency and — using the Werner-state
+// extension — the fidelity of the delivered entanglement.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"see"
+	"see/internal/core"
+	"see/internal/qnet"
+	"see/internal/reps"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+func main() {
+	cfg := see.DefaultNetworkConfig()
+	cfg.Nodes = 100
+	net, pairs, err := see.GenerateNetwork(cfg, 10, 21)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := see.WorkloadConfig{Slots: 50, ArrivalsPerPair: 0.6, QueueCap: 20, Seed: 5}
+
+	fmt.Printf("workload: %d slots, %.1f qubits/pair/slot offered, queue cap %d\n\n",
+		w.Slots, w.ArrivalsPerPair, w.QueueCap)
+	fmt.Printf("%-5s %-10s %-10s %-10s %-12s %-10s\n",
+		"alg", "arrived", "delivered", "dropped", "latency", "backlog")
+	for _, alg := range []see.Algorithm{see.SEE, see.REPS, see.E2E} {
+		sched, err := see.NewScheduler(alg, net, pairs, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := see.RunWorkload(sched, len(pairs), w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5s %-10d %-10d %-10d %-12.2f %-10d\n",
+			alg, res.Arrived, res.Delivered, res.Dropped, res.MeanLatencySlots, res.Backlog)
+	}
+
+	// Fidelity comparison (Werner-state extension): SEE's connections use
+	// fewer swaps but longer optical segments than REPS's link chains.
+	fmt.Println("\nmean delivered-entanglement fidelity (Werner model, 30 slots):")
+	model := qnet.DefaultFidelityModel()
+	rawNet, err := topo.Generate(topoConfig(cfg), xrand.New(21^0x5ee))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rawPairs := topo.ChooseSDPairs(rawNet, 10, xrand.New(22))
+	lengthOf := func(s *qnet.Segment) float64 { return rawNet.PathLengthKM(s.Cand.Path) }
+
+	seeEng, err := core.NewEngine(rawNet, rawPairs, core.DefaultOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	repsEng, err := reps.NewEngine(rawNet, rawPairs, reps.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	var fSEE, fREPS float64
+	var nSEE, nREPS int
+	for slot := 0; slot < 30; slot++ {
+		sres, err := seeEng.RunSlot(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range sres.Connections {
+			fSEE += model.ConnectionFidelity(c, lengthOf)
+			nSEE++
+		}
+		rres, err := repsEng.RunSlot(rng)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, c := range rres.Connections {
+			fREPS += model.ConnectionFidelity(c, lengthOf)
+			nREPS++
+		}
+	}
+	fmt.Printf("  SEE : %.4f over %d connections\n", fSEE/float64(nSEE), nSEE)
+	fmt.Printf("  REPS: %.4f over %d connections\n", fREPS/float64(nREPS), nREPS)
+}
+
+func topoConfig(cfg see.NetworkConfig) topo.Config {
+	t := topo.DefaultConfig()
+	t.Nodes = cfg.Nodes
+	t.Channels = cfg.Channels
+	t.Memory = cfg.Memory
+	t.SwapProb = cfg.SwapProb
+	t.Alpha = cfg.Alpha
+	t.Delta = cfg.Delta
+	return t
+}

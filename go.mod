@@ -1,0 +1,3 @@
+module see
+
+go 1.23

@@ -1,0 +1,149 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"see/internal/graph"
+	"see/internal/qnet"
+	"see/internal/segment"
+)
+
+// Auxiliary-graph weights from Algorithm 3.
+const (
+	eceAvailableWeight = 1e-5
+	eceMissingWeight   = 1e9
+	// eceRejectThreshold rejects any path that traverses a missing
+	// segment: a usable path costs at most hops·1e-5 + Σ(−ln q), far
+	// below 1e8 for any q the simulator produces.
+	eceRejectThreshold = 1e8
+)
+
+// establishConnections implements Algorithm 3 (ECE) with in-slot swap
+// sampling. First it satisfies provisioned paths whose segments all
+// realized; then it greedily builds extra connections for under-served SD
+// pairs from leftover segments via repeated shortest path on the auxiliary
+// graph (node weight −ln q_u, edge weight 1e-5 when a segment is available,
+// 1e9 otherwise).
+//
+// Swapping is sampled as each connection is assembled: a failed swap
+// consumes the connection's segments but leaves the SD pair eligible, so
+// redundant segments — which the provisioning LP paid for through the
+// √(q_u·q_v) apportioning of constraint (1d) — back up swap failures. This
+// is what makes redundant provisioning compensate swapping losses (and it
+// is the only reading under which the paper's Fig. 5 scaling and the
+// SEE→E2E convergence at low q are reproducible).
+//
+// It returns the established connections and the number of assembly
+// attempts (established + swap-failed).
+func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet.Segment, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
+	pool := qnet.NewPool(created)
+	perPair := make([]int, len(e.Pairs))
+	var out []*qnet.Connection
+
+	// Lines 2–6: assign realized segments to provisioned paths. The pass
+	// repeats while it makes progress so that redundant segments retry a
+	// path whose swap failed (or establish a second connection over it).
+	for {
+		phaseAProgress := false
+		for _, p := range provisioned {
+			if perPair[p.Commodity] >= e.ConnCap[p.Commodity] {
+				continue
+			}
+			ok := true
+			for _, hop := range p.Hops {
+				if pool.Available(hop.Pair) < 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			conn := &qnet.Connection{Pair: p.Commodity, Nodes: p.Nodes}
+			for _, hop := range p.Hops {
+				seg := pool.Take(hop.Pair)
+				conn.Segments = append(conn.Segments, seg)
+			}
+			attempts++
+			phaseAProgress = true
+			if conn.EstablishWithRetries(e.Net, pool, rng) {
+				out = append(out, conn)
+				perPair[p.Commodity]++
+			}
+		}
+		if !phaseAProgress {
+			break
+		}
+	}
+
+	// Lines 7–15: auxiliary graph over realized segments.
+	aux, auxPairs := e.buildAuxGraph(pool)
+	nodeWeight := func(u int) float64 {
+		q := e.Net.SwapProb[u]
+		if q <= 0 {
+			return eceMissingWeight
+		}
+		return -math.Log(q)
+	}
+	edgeWeight := func(id int, _ float64) float64 {
+		if pool.Available(auxPairs[id]) >= 1 {
+			return eceAvailableWeight
+		}
+		return eceMissingWeight
+	}
+
+	for {
+		progress := false
+		for i, sd := range e.Pairs {
+			if perPair[i] >= e.ConnCap[i] {
+				continue
+			}
+			path, dist := graph.ShortestPath(aux, sd.S, sd.D, graph.DijkstraOptions{
+				NodeWeight: nodeWeight,
+				EdgeWeight: edgeWeight,
+			})
+			if path == nil || dist >= eceRejectThreshold {
+				continue
+			}
+			conn := &qnet.Connection{Pair: i, Nodes: path}
+			for h := 0; h+1 < len(path); h++ {
+				seg := pool.Take(segment.MakePairKey(path[h], path[h+1]))
+				if seg == nil {
+					// Unreachable if weights are consistent; roll back.
+					for _, s := range conn.Segments {
+						pool.Return(s)
+					}
+					conn = nil
+					break
+				}
+				conn.Segments = append(conn.Segments, seg)
+			}
+			if conn == nil {
+				continue
+			}
+			attempts++
+			progress = true
+			if conn.EstablishWithRetries(e.Net, pool, rng) {
+				out = append(out, conn)
+				perPair[i]++
+			}
+		}
+		if !progress {
+			return out, attempts
+		}
+	}
+}
+
+// buildAuxGraph returns a graph with one edge per endpoint pair that has at
+// least one realized segment, plus the pair keyed by edge ID.
+func (e *Engine) buildAuxGraph(pool *qnet.Pool) (*graph.Graph, []segment.PairKey) {
+	g := graph.New(e.Net.NumNodes())
+	pairs := pool.Pairs()
+	auxPairs := make([]segment.PairKey, 0, len(pairs))
+	for _, pk := range pairs {
+		g.AddEdge(pk.U, pk.V, eceAvailableWeight)
+		auxPairs = append(auxPairs, pk)
+	}
+	return g, auxPairs
+}

@@ -1,0 +1,195 @@
+// Package core implements the paper's contribution — the SEE scheduler:
+//
+//   - EPI (Algorithm 1): Entanglement Path Identification — LP relaxation
+//     of formulation (1), solved via internal/flow, followed by randomized
+//     rounding into concrete entanglement paths.
+//   - ESC (Algorithm 2): Entanglement Segment Creation — ordered, fair
+//     reservation of channels and memory so that the expected number of
+//     created segments covers every provisioned path, preferring
+//     high-probability physical realizations.
+//   - ECE (Algorithm 3): Entanglement Connection Establishment — assignment
+//     of realized segments to provisioned paths, then opportunistic
+//     shortest-path construction of extra connections from leftovers on the
+//     auxiliary graph with node weight −ln q_u.
+//
+// The Engine glues the three to the stochastic physical phase (segment
+// creation attempts, quantum swapping) to simulate one time slot of a QDN.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"see/internal/flow"
+	"see/internal/qnet"
+	"see/internal/segment"
+	"see/internal/topo"
+)
+
+// Options configures a SEE engine.
+type Options struct {
+	// Segment tunes candidate enumeration (hop cap, K paths, pruning).
+	Segment segment.Options
+	// Flow tunes the LP relaxation solve.
+	Flow flow.Options
+	// StrictProvisioning makes ESC follow Algorithm 2 verbatim: a path is
+	// provisioned only if the *expected* number of created segments covers
+	// its demand on every hop. The default (false) additionally keeps
+	// paths whose segments each received at least one attempt, which is
+	// strictly better in resource-starved networks.
+	StrictProvisioning bool
+}
+
+// DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
+// and the swap-survival-weighted LP objective (see flow.Options).
+func DefaultOptions() Options {
+	seg := segment.DefaultOptions()
+	seg.MaxSegmentHops = 10
+	return Options{
+		Segment: seg,
+		Flow:    flow.Options{SwapWeightedObjective: true},
+	}
+}
+
+// Engine runs SEE time slots over a fixed network and SD-pair workload.
+// The LP relaxation depends only on the (static) topology, so it is solved
+// once at construction; each slot performs randomized rounding, resource
+// reservation, the stochastic physical phase and connection establishment.
+type Engine struct {
+	Net   *topo.Network
+	Pairs []topo.SDPair
+	Set   *segment.Set
+	// LP is the cached fractional optimum (an upper bound on per-slot
+	// expected throughput).
+	LP *flow.Solution
+	// ConnCap is the per-pair connection cap N_i.
+	ConnCap []int
+
+	opts Options
+}
+
+// NewEngine builds the candidate set and solves the LP relaxation.
+func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	if net == nil {
+		return nil, errors.New("core: nil network")
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("core: no SD pairs")
+	}
+	set, err := segment.Build(net, pairs, opts.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("core: building candidates: %w", err)
+	}
+	sol, err := flow.Solve(set, opts.Flow)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving LP relaxation: %w", err)
+	}
+	connCap := opts.Flow.ConnCap
+	if connCap == nil {
+		connCap = make([]int, len(pairs))
+		for i, sd := range pairs {
+			connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
+		}
+	}
+	return &Engine{
+		Net:     net,
+		Pairs:   pairs,
+		Set:     set,
+		LP:      sol,
+		ConnCap: connCap,
+		opts:    opts,
+	}, nil
+}
+
+// SlotResult reports everything that happened in one time slot.
+type SlotResult struct {
+	// LPObjective is the fractional optimum (identical across slots).
+	LPObjective float64
+	// PlannedPaths is |T|: entanglement paths identified by EPI.
+	PlannedPaths int
+	// ProvisionedPaths is |D|: paths for which ESC reserved full resources.
+	ProvisionedPaths int
+	// Attempts is the total number of segment-creation attempts reserved.
+	Attempts int
+	// SegmentsCreated is how many attempts succeeded in the physical phase.
+	SegmentsCreated int
+	// Assembled counts connection-assembly attempts in ECE (each consumes
+	// one realized segment per hop; swap failures make Assembled >
+	// Established).
+	Assembled int
+	// Established is the throughput: connections whose swaps all succeeded.
+	Established int
+	// PerPair is the established count per SD pair.
+	PerPair []int
+	// Connections lists the established connections.
+	Connections []*qnet.Connection
+}
+
+// SlotPlan is the controller's decision for one time slot (steps i–ii of
+// §II-F): which entanglement paths to pursue and how many creation attempts
+// to reserve on each physical segment.
+type SlotPlan struct {
+	// Planned are the entanglement paths identified by EPI.
+	Planned []PlannedPath
+	// Provisioned is the subset D for which ESC reserved full resources.
+	Provisioned []PlannedPath
+	// Attempts is the creation plan {x^k_uv}.
+	Attempts qnet.AttemptPlan
+}
+
+// PlanSlot runs EPI + ESC and returns the slot plan. The protocol layer
+// uses it to drive the distributed execution; RunSlot uses it directly.
+func (e *Engine) PlanSlot(rng *rand.Rand) (*SlotPlan, error) {
+	planned := e.identifyPaths(rng)
+	plan, provisioned, err := e.createSegmentsPlan(planned)
+	if err != nil {
+		return nil, err
+	}
+	return &SlotPlan{Planned: planned, Provisioned: provisioned, Attempts: plan}, nil
+}
+
+// RunSlot simulates one time slot. The rng drives EPI rounding, the
+// physical phase and swapping; a fixed rng state reproduces the slot
+// exactly.
+func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
+	res := &SlotResult{
+		LPObjective: e.LP.Objective,
+		PerPair:     make([]int, len(e.Pairs)),
+	}
+
+	// Steps i–ii: EPI identifies entanglement paths, ESC reserves the
+	// segment-creation attempts.
+	slotPlan, err := e.PlanSlot(rng)
+	if err != nil {
+		return nil, err
+	}
+	plan, provisioned := slotPlan.Attempts, slotPlan.Provisioned
+	res.PlannedPaths = len(slotPlan.Planned)
+	res.ProvisionedPaths = len(provisioned)
+	res.Attempts = plan.TotalAttempts()
+
+	// Physical phase — attempts succeed i.i.d.
+	created := qnet.AttemptAll(plan, rng)
+	res.SegmentsCreated = len(created)
+
+	// Steps iii–iv: ECE assembles connections from realized segments,
+	// sampling swaps as it goes; failed swaps consume segments but spare
+	// (redundant) segments allow further attempts.
+	conns, attempts := e.establishConnections(provisioned, created, rng)
+	res.Assembled = attempts
+
+	for _, c := range conns {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("core: invalid connection assembled: %w", err)
+		}
+		res.Established++
+		res.PerPair[c.Pair]++
+		res.Connections = append(res.Connections, c)
+	}
+	return res, nil
+}
+
+// ExpectedUpperBound returns the LP objective, an upper bound on the
+// expected number of connections SEE can establish per slot.
+func (e *Engine) ExpectedUpperBound() float64 { return e.LP.Objective }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"sort"
+
+	"see/internal/qnet"
+	"see/internal/segment"
+)
+
+// createSegmentsPlan implements Algorithm 2 (ESC): it orders the planned
+// entanglement paths, then reserves the minimum quantum resources so that
+// for every segment ⟨u,v⟩ the expected number of created segments
+// Σ_k p^k_uv·x^k_uv covers the number of provisioned paths using it.
+// High-probability physical realizations are reserved first; a path whose
+// demand cannot be covered releases everything reserved on its behalf.
+//
+// It returns the attempt plan {x^k_uv} and the provisioned path set D.
+func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []PlannedPath, error) {
+	ordered := orderPaths(planned)
+
+	ledger := qnet.NewLedger(e.Net)
+	plan := make(qnet.AttemptPlan)
+	// expected[pk] = Σ_k p^k·x^k currently reserved for the pair;
+	// demand[pk] = paths in D using the pair;
+	// attempts[pk] = Σ_k x^k currently reserved for the pair.
+	expected := make(map[segment.PairKey]float64)
+	demand := make(map[segment.PairKey]int)
+	attempts := make(map[segment.PairKey]int)
+
+	var provisioned []PlannedPath
+	for _, p := range ordered {
+		// Attempts added on behalf of this path, for rollback, and how
+		// many hops had their demand counted before a failure.
+		var added []*segment.Candidate
+		counted := 0
+		ok := true
+		for _, hop := range p.Hops {
+			demand[hop.Pair]++
+			counted++
+			for expected[hop.Pair] < float64(demand[hop.Pair]) {
+				cand := e.bestReservable(hop.Pair, ledger)
+				if cand == nil {
+					// Out of resources for redundancy. In strict mode
+					// (Algorithm 2 verbatim) the path is released. By
+					// default we keep it as long as each demanded segment
+					// has at least one dedicated attempt — without this,
+					// a 1-channel network could never provision anything
+					// (see the Fig. 2 fixture) even though creating
+					// segments without redundancy is clearly preferable
+					// to idling.
+					if e.opts.StrictProvisioning || attempts[hop.Pair] < demand[hop.Pair] {
+						ok = false
+					}
+					break
+				}
+				if err := ledger.Reserve(cand); err != nil {
+					return nil, nil, err
+				}
+				plan[cand]++
+				expected[hop.Pair] += cand.Prob
+				attempts[hop.Pair]++
+				added = append(added, cand)
+			}
+			if !ok {
+				break
+			}
+		}
+		if ok {
+			provisioned = append(provisioned, p)
+			continue
+		}
+		// Rollback: release the attempts added for p and drop its demand.
+		for _, cand := range added {
+			if err := ledger.Release(cand); err != nil {
+				return nil, nil, err
+			}
+			plan[cand]--
+			if plan[cand] == 0 {
+				delete(plan, cand)
+			}
+			pk := segment.MakePairKey(cand.Path[0], cand.Path[len(cand.Path)-1])
+			expected[pk] -= cand.Prob
+			attempts[pk]--
+		}
+		for _, hop := range p.Hops[:counted] {
+			demand[hop.Pair]--
+		}
+	}
+
+	// Backup provisioning (§II-F: SEE "provisions redundant entanglement
+	// ... some of these entanglement segments will be used as backups"):
+	// saturate leftover channels and memory with extra attempts on the
+	// segments the provisioned paths demand, topping up the least-covered
+	// segments first so availability is equalized.
+	if len(provisioned) > 0 {
+		keys := make([]segment.PairKey, 0, len(demand))
+		for pk, d := range demand {
+			if d > 0 {
+				keys = append(keys, pk)
+			}
+		}
+		for {
+			sort.Slice(keys, func(i, j int) bool {
+				ci := expected[keys[i]] / float64(demand[keys[i]])
+				cj := expected[keys[j]] / float64(demand[keys[j]])
+				if ci != cj {
+					return ci < cj
+				}
+				if keys[i].U != keys[j].U {
+					return keys[i].U < keys[j].U
+				}
+				return keys[i].V < keys[j].V
+			})
+			reserved := 0
+			for _, pk := range keys {
+				cand := e.bestReservable(pk, ledger)
+				if cand == nil {
+					continue
+				}
+				if err := ledger.Reserve(cand); err != nil {
+					return nil, nil, err
+				}
+				plan[cand]++
+				expected[pk] += cand.Prob
+				attempts[pk]++
+				reserved++
+			}
+			if reserved == 0 {
+				break
+			}
+		}
+	}
+
+	if err := ledger.Validate(); err != nil {
+		return nil, nil, err
+	}
+	return plan, provisioned, nil
+}
+
+// bestReservable returns the highest-probability candidate for the pair
+// that the ledger can still accommodate, or nil.
+func (e *Engine) bestReservable(pk segment.PairKey, ledger *qnet.Ledger) *segment.Candidate {
+	for _, cand := range e.Set.ByPair[pk] {
+		if ledger.CanReserve(cand) {
+			return cand
+		}
+	}
+	return nil
+}
+
+// orderPaths implements ESC's ordering: increasing path length (segment
+// count, then physical hop count), with round-robin across SD pairs inside
+// each equal-length class to preserve fairness.
+func orderPaths(planned []PlannedPath) []PlannedPath {
+	idx := make([]int, len(planned))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		pa, pb := planned[idx[a]], planned[idx[b]]
+		if len(pa.Hops) != len(pb.Hops) {
+			return len(pa.Hops) < len(pb.Hops)
+		}
+		return pa.PhysHops < pb.PhysHops
+	})
+	// Round-robin inside equal (segments, physHops) classes.
+	ordered := make([]PlannedPath, 0, len(planned))
+	for start := 0; start < len(idx); {
+		end := start
+		key := func(i int) [2]int {
+			return [2]int{len(planned[idx[i]].Hops), planned[idx[i]].PhysHops}
+		}
+		for end < len(idx) && key(end) == key(start) {
+			end++
+		}
+		ordered = append(ordered, roundRobin(planned, idx[start:end])...)
+		start = end
+	}
+	return ordered
+}
+
+// roundRobin interleaves the paths of a class by commodity: first one path
+// of each SD pair, then the second of each, and so on.
+func roundRobin(planned []PlannedPath, idx []int) []PlannedPath {
+	byCommodity := make(map[int][]PlannedPath)
+	var commodities []int
+	for _, i := range idx {
+		c := planned[i].Commodity
+		if _, seen := byCommodity[c]; !seen {
+			commodities = append(commodities, c)
+		}
+		byCommodity[c] = append(byCommodity[c], planned[i])
+	}
+	sort.Ints(commodities)
+	out := make([]PlannedPath, 0, len(idx))
+	for round := 0; len(out) < len(idx); round++ {
+		for _, c := range commodities {
+			if round < len(byCommodity[c]) {
+				out = append(out, byCommodity[c][round])
+			}
+		}
+	}
+	return out
+}

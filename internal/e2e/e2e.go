@@ -1,0 +1,56 @@
+// Package e2e implements the all-optical-switching-only baseline from the
+// paper's evaluation: every entanglement connection is a single entanglement
+// segment spanning the whole physical path from source to destination, with
+// no quantum swapping. It is the "only all-optical switching" extreme of
+// SEE (§IV-A), so it reuses the SEE engine with candidates restricted to
+// full SD paths.
+package e2e
+
+import (
+	"math/rand"
+
+	"see/internal/core"
+	"see/internal/topo"
+)
+
+// Options tunes the baseline.
+type Options struct {
+	// KPaths is the number of candidate physical routes per SD pair.
+	// The default is 1: the paper's E2E strawman sends photons over the
+	// shortest physical route only (larger values make E2E a noticeably
+	// stronger scheme than the one the paper compares against; see the
+	// ablation bench).
+	KPaths int
+}
+
+// Engine runs E2E time slots.
+type Engine struct {
+	inner *core.Engine
+}
+
+// NewEngine builds the E2E baseline over the network.
+func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	coreOpts := core.DefaultOptions()
+	coreOpts.Segment.FullPathOnly = true
+	coreOpts.Segment.MinProb = 0 // E2E keeps attempting even hopeless routes
+	coreOpts.Segment.KPaths = 1
+	if opts.KPaths > 0 {
+		coreOpts.Segment.KPaths = opts.KPaths
+	}
+	inner, err := core.NewEngine(net, pairs, coreOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{inner: inner}, nil
+}
+
+// RunSlot simulates one time slot.
+func (e *Engine) RunSlot(rng *rand.Rand) (*core.SlotResult, error) {
+	return e.inner.RunSlot(rng)
+}
+
+// ExpectedUpperBound returns the LP bound of the restricted model.
+func (e *Engine) ExpectedUpperBound() float64 { return e.inner.ExpectedUpperBound() }
+
+// Core exposes the underlying engine for diagnostics.
+func (e *Engine) Core() *core.Engine { return e.inner }

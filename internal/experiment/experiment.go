@@ -1,0 +1,285 @@
+// Package experiment is the benchmark harness that regenerates the paper's
+// evaluation (Figs. 2–7): parameter sweeps over link capacity, segment
+// success probability, swap success probability, network scale and
+// workload, with throughput means across trials and per-SD-pair CDFs.
+//
+// Every trial draws its own topology and SD pairs from the trial seed, runs
+// one time slot of each scheduler on the *same* instance (paired
+// comparison), and records the established connections.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"see/internal/core"
+	"see/internal/e2e"
+	"see/internal/metrics"
+	"see/internal/reps"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// Algorithm selects a scheduler.
+type Algorithm int
+
+// The three schemes compared in the paper.
+const (
+	SEE Algorithm = iota
+	REPS
+	E2E
+)
+
+// Algorithms lists all schemes in display order.
+var Algorithms = []Algorithm{SEE, REPS, E2E}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SEE:
+		return "SEE"
+	case REPS:
+		return "REPS"
+	case E2E:
+		return "E2E"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Params describes one simulation configuration (defaults follow §IV-A).
+type Params struct {
+	Nodes    int
+	SDPairs  int
+	Channels int
+	Memory   int
+	SwapProb float64
+	Alpha    float64
+	Delta    float64
+
+	// Trials per data point (paper: 100).
+	Trials int
+	// BaseSeed drives all randomness; trial t uses xrand.ForTrial.
+	BaseSeed int64
+
+	// KPaths and MaxSegmentHops tune candidate enumeration for SEE.
+	KPaths         int
+	MaxSegmentHops int
+	// StrictProvisioning switches SEE's ESC to the paper-literal mode.
+	StrictProvisioning bool
+	// Workers bounds the goroutines running trials concurrently; 0 means
+	// GOMAXPROCS. Trials are seeded independently, so the results are
+	// identical to a serial run regardless of scheduling.
+	Workers int
+}
+
+// DefaultParams returns the paper's default setting.
+func DefaultParams() Params {
+	return Params{
+		Nodes:          200,
+		SDPairs:        20,
+		Channels:       3,
+		Memory:         10,
+		SwapProb:       0.9,
+		Alpha:          2e-4,
+		Delta:          0.05,
+		Trials:         100,
+		BaseSeed:       20220101,
+		KPaths:         5,
+		MaxSegmentHops: 10,
+	}
+}
+
+func (p Params) topoConfig() topo.Config {
+	cfg := topo.DefaultConfig()
+	cfg.Nodes = p.Nodes
+	cfg.Channels = p.Channels
+	cfg.Memory = p.Memory
+	cfg.SwapProb = p.SwapProb
+	cfg.Alpha = p.Alpha
+	cfg.Delta = p.Delta
+	return cfg
+}
+
+// scheduler is the minimal per-slot interface the harness needs.
+type scheduler interface {
+	run(rng *rand.Rand) (established int, perPair []int, err error)
+}
+
+type seeSched struct{ e *core.Engine }
+
+func (s seeSched) run(rng *rand.Rand) (int, []int, error) {
+	res, err := s.e.RunSlot(rng)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Established, res.PerPair, nil
+}
+
+type repsSched struct{ e *reps.Engine }
+
+func (s repsSched) run(rng *rand.Rand) (int, []int, error) {
+	res, err := s.e.RunSlot(rng)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Established, res.PerPair, nil
+}
+
+type e2eSched struct{ e *e2e.Engine }
+
+func (s e2eSched) run(rng *rand.Rand) (int, []int, error) {
+	res, err := s.e.RunSlot(rng)
+	if err != nil {
+		return 0, nil, err
+	}
+	return res.Established, res.PerPair, nil
+}
+
+func (p Params) build(alg Algorithm, net *topo.Network, pairs []topo.SDPair) (scheduler, error) {
+	switch alg {
+	case SEE:
+		opts := core.DefaultOptions()
+		opts.Segment.KPaths = p.KPaths
+		opts.Segment.MaxSegmentHops = p.MaxSegmentHops
+		opts.StrictProvisioning = p.StrictProvisioning
+		e, err := core.NewEngine(net, pairs, opts)
+		if err != nil {
+			return nil, err
+		}
+		return seeSched{e}, nil
+	case REPS:
+		e, err := reps.NewEngine(net, pairs, reps.Options{KPaths: p.KPaths})
+		if err != nil {
+			return nil, err
+		}
+		return repsSched{e}, nil
+	case E2E:
+		e, err := e2e.NewEngine(net, pairs, e2e.Options{KPaths: p.KPaths})
+		if err != nil {
+			return nil, err
+		}
+		return e2eSched{e}, nil
+	default:
+		return nil, fmt.Errorf("experiment: unknown algorithm %v", alg)
+	}
+}
+
+// PointResult aggregates one (configuration, algorithm) data point.
+type PointResult struct {
+	// Throughput summarizes established connections per slot over trials
+	// (the y-axis of every (a) subplot).
+	Throughput metrics.Summary
+	// PerPairCDF is the per-SD-pair throughput distribution of the first
+	// trial, as in the paper's (b)/(c) subplots.
+	PerPairCDF metrics.CDF
+	// Jain is the mean Jain fairness index over trials.
+	Jain float64
+}
+
+// trialOutcome is one trial's result for every algorithm.
+type trialOutcome struct {
+	established map[Algorithm]float64
+	perPair     map[Algorithm][]float64
+	err         error
+}
+
+// RunPoint simulates all algorithms on the same instances and returns one
+// PointResult per algorithm. Trials run on a bounded worker pool; every
+// trial derives all of its randomness from its own seed, so the output is
+// byte-identical to a serial run.
+func RunPoint(p Params) (map[Algorithm]PointResult, error) {
+	if p.Trials <= 0 {
+		return nil, fmt.Errorf("experiment: Trials must be positive, got %d", p.Trials)
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > p.Trials {
+		workers = p.Trials
+	}
+
+	outcomes := make([]trialOutcome, p.Trials)
+	var wg sync.WaitGroup
+	trialCh := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for trial := range trialCh {
+				outcomes[trial] = p.runTrial(trial)
+			}
+		}()
+	}
+	for trial := 0; trial < p.Trials; trial++ {
+		trialCh <- trial
+	}
+	close(trialCh)
+	wg.Wait()
+
+	samples := make(map[Algorithm][]float64, len(Algorithms))
+	jains := make(map[Algorithm][]float64, len(Algorithms))
+	firstTrialPerPair := make(map[Algorithm][]float64, len(Algorithms))
+	for trial, oc := range outcomes {
+		if oc.err != nil {
+			return nil, fmt.Errorf("experiment: trial %d: %w", trial, oc.err)
+		}
+		for _, alg := range Algorithms {
+			samples[alg] = append(samples[alg], oc.established[alg])
+			jains[alg] = append(jains[alg], metrics.JainIndex(oc.perPair[alg]))
+			if trial == 0 {
+				firstTrialPerPair[alg] = oc.perPair[alg]
+			}
+		}
+	}
+
+	out := make(map[Algorithm]PointResult, len(Algorithms))
+	for _, alg := range Algorithms {
+		out[alg] = PointResult{
+			Throughput: metrics.Summarize(samples[alg]),
+			PerPairCDF: metrics.NewCDF(firstTrialPerPair[alg]),
+			Jain:       metrics.Summarize(jains[alg]).Mean,
+		}
+	}
+	return out, nil
+}
+
+// runTrial draws one instance and runs every algorithm's slot on it.
+func (p Params) runTrial(trial int) trialOutcome {
+	oc := trialOutcome{
+		established: make(map[Algorithm]float64, len(Algorithms)),
+		perPair:     make(map[Algorithm][]float64, len(Algorithms)),
+	}
+	rng := xrand.ForTrial(p.BaseSeed, trial)
+	topoRng := xrand.Split(rng)
+	pairRng := xrand.Split(rng)
+	net, err := topo.Generate(p.topoConfig(), topoRng)
+	if err != nil {
+		oc.err = err
+		return oc
+	}
+	pairs := topo.ChooseSDPairs(net, p.SDPairs, pairRng)
+	for _, alg := range Algorithms {
+		slotRng := xrand.Split(rng)
+		sched, err := p.build(alg, net, pairs)
+		if err != nil {
+			oc.err = fmt.Errorf("%v: %w", alg, err)
+			return oc
+		}
+		established, perPair, err := sched.run(slotRng)
+		if err != nil {
+			oc.err = fmt.Errorf("%v: %w", alg, err)
+			return oc
+		}
+		oc.established[alg] = float64(established)
+		pp := make([]float64, len(perPair))
+		for i, c := range perPair {
+			pp[i] = float64(c)
+		}
+		oc.perPair[alg] = pp
+	}
+	return oc
+}

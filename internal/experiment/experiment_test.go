@@ -1,0 +1,168 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// smallParams keeps tests fast while exercising the full pipeline.
+func smallParams() Params {
+	p := DefaultParams()
+	p.Nodes = 40
+	p.SDPairs = 4
+	p.Trials = 3
+	return p
+}
+
+func TestRunPointShape(t *testing.T) {
+	res, err := RunPoint(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(Algorithms) {
+		t.Fatalf("got %d algorithms", len(res))
+	}
+	for _, alg := range Algorithms {
+		pr := res[alg]
+		if pr.Throughput.N != 3 {
+			t.Fatalf("%v: N = %d, want 3", alg, pr.Throughput.N)
+		}
+		if pr.Throughput.Mean < 0 {
+			t.Fatalf("%v: negative mean", alg)
+		}
+		if pr.Jain < 0 || pr.Jain > 1+1e-9 {
+			t.Fatalf("%v: Jain = %v", alg, pr.Jain)
+		}
+	}
+}
+
+func TestRunPointDeterministic(t *testing.T) {
+	a, err := RunPoint(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunPoint(smallParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if math.Abs(a[alg].Throughput.Mean-b[alg].Throughput.Mean) > 1e-12 {
+			t.Fatalf("%v: non-deterministic mean", alg)
+		}
+	}
+}
+
+func TestRunPointRejectsZeroTrials(t *testing.T) {
+	p := smallParams()
+	p.Trials = 0
+	if _, err := RunPoint(p); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestSweepRunnerAndTable(t *testing.T) {
+	base := smallParams()
+	sw, err := runSweep("test-sweep", "x", base, []float64{2, 3},
+		func(p *Params, x float64) { p.Channels = int(x) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Points) != 2 || sw.Points[0].X != 2 || sw.Points[1].X != 3 {
+		t.Fatalf("sweep points wrong: %+v", sw.Points)
+	}
+	table := sw.Table()
+	if !strings.Contains(table, "test-sweep") || !strings.Contains(table, "SEE\tREPS\tE2E") {
+		t.Fatalf("table header missing:\n%s", table)
+	}
+	if len(strings.Split(strings.TrimSpace(table), "\n")) != 4 {
+		t.Fatalf("table should have 2 header + 2 data rows:\n%s", table)
+	}
+}
+
+func TestMotivationValues(t *testing.T) {
+	r := Motivation()
+	if math.Abs(r.Conventional-0.729) > 1e-9 {
+		t.Fatalf("conventional = %v, want 0.729", r.Conventional)
+	}
+	if math.Abs(r.SEE-1.4885) > 1e-9 {
+		t.Fatalf("SEE = %v, want 1.4885", r.SEE)
+	}
+	if r.SEE/r.Conventional < 2 {
+		t.Fatal("the paper's 2x claim must hold on the fixture")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if SEE.String() != "SEE" || REPS.String() != "REPS" || E2E.String() != "E2E" {
+		t.Fatal("algorithm names wrong")
+	}
+	if Algorithm(42).String() == "" {
+		t.Fatal("unknown algorithm must stringify")
+	}
+}
+
+// Integration: on a modest instance, the paper's headline ordering holds
+// (SEE >= both baselines) when averaged over a few trials.
+func TestOrderingHoldsOnAverage(t *testing.T) {
+	p := DefaultParams()
+	p.Nodes = 60
+	p.SDPairs = 8
+	p.Trials = 6
+	res, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeMean := res[SEE].Throughput.Mean
+	if seeMean < res[REPS].Throughput.Mean*0.9 {
+		t.Fatalf("SEE (%v) clearly below REPS (%v)", seeMean, res[REPS].Throughput.Mean)
+	}
+	if seeMean < res[E2E].Throughput.Mean*0.9 {
+		t.Fatalf("SEE (%v) clearly below E2E (%v)", seeMean, res[E2E].Throughput.Mean)
+	}
+}
+
+// Figure runners accept a tiny base without error; full-scale runs are the
+// benchmarks' job.
+func TestFigureRunnersSmoke(t *testing.T) {
+	base := smallParams()
+	base.Trials = 1
+	type runner struct {
+		name string
+		run  func(Params) (*Sweep, error)
+	}
+	for _, r := range []runner{
+		{"fig3", Fig3LinkCapacity},
+		{"fig5", Fig5SwapProb},
+	} {
+		sw, err := r.run(base)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		if len(sw.Points) < 2 {
+			t.Fatalf("%s: too few points", r.name)
+		}
+	}
+}
+
+// Parallel trial execution must be byte-identical to a serial run.
+func TestRunPointParallelMatchesSerial(t *testing.T) {
+	p := smallParams()
+	p.Trials = 6
+	p.Workers = 1
+	serial, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Workers = 4
+	parallel, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if serial[alg].Throughput.Mean != parallel[alg].Throughput.Mean ||
+			serial[alg].Jain != parallel[alg].Jain {
+			t.Fatalf("%v: serial %+v != parallel %+v", alg, serial[alg], parallel[alg])
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package flow solves the LP relaxation of the paper's throughput
+// maximization (formulation (1)) in path form via column generation.
+//
+// Aggregating formulation (1) over the per-connection index n (valid for
+// the relaxation: the t^n_i are interchangeable and constraint (1g) only
+// breaks symmetry), the LP becomes a packing problem over entanglement
+// paths. A column is a path for SD pair i through the segment graph with a
+// concrete physical realization chosen per segment; one unit of flow on the
+// column provides one (expected) entanglement connection and consumes
+//
+//	1/(p^k_uv · √(q_u·q_v))
+//
+// attempts on segment (u,v) realized over physical segment k — which in
+// turn consume one channel on each physical link of the realization and one
+// unit of memory at each segment endpoint, exactly constraints (1d)–(1f).
+//
+// The master problem is the revised simplex in internal/lp; the pricing
+// oracle is a Dijkstra run per SD pair on the segment graph, where each
+// segment-arc is priced at its cheapest realization under the current
+// duals. Pricing is exact (any non-minimal realization has no better
+// reduced cost), so on convergence the solution is LP-optimal over the
+// whole exponential column space.
+package flow
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"see/internal/graph"
+	"see/internal/lp"
+	"see/internal/segment"
+)
+
+// SegHop is one segment of an entanglement path: the endpoint pair plus the
+// physical realization chosen when the column was priced.
+type SegHop struct {
+	Pair segment.PairKey
+	Cand *segment.Candidate
+}
+
+// PathFlow is one path column with positive flow in the LP optimum.
+type PathFlow struct {
+	// Commodity indexes the SD pair.
+	Commodity int
+	// Hops lists the segments from source to destination.
+	Hops []SegHop
+	// Nodes is the junction sequence s, …, d of the entanglement path.
+	Nodes graph.Path
+	// Flow is the fractional number of connections carried.
+	Flow float64
+}
+
+// Solution is the LP optimum in path form.
+type Solution struct {
+	Status lp.Status
+	// Objective is the LP value (upper bound on expected connections).
+	Objective float64
+	// PerCommodity is T_i = Σ flow of commodity i's paths.
+	PerCommodity []float64
+	// Paths lists all columns with positive flow.
+	Paths []PathFlow
+	// Rounds is the number of column-generation rounds used.
+	Rounds int
+	// Columns is the total number of columns generated.
+	Columns int
+}
+
+// Options tunes the solve.
+type Options struct {
+	// MaxRounds caps column-generation rounds (default 120).
+	MaxRounds int
+	// ConnCap is the per-pair cap N_i; nil derives min(mem_s, mem_d).
+	ConnCap []int
+	// Epsilon is the reduced-cost threshold for adding a column
+	// (default 1e-7).
+	Epsilon float64
+	// Channels, when non-nil, overrides the per-link channel capacities
+	// (REPS's progressive rounding re-solves the LP on residual
+	// capacities).
+	Channels []int
+	// Memory, when non-nil, overrides the per-node memory capacities.
+	Memory []int
+	// SwapWeightedObjective weights each path column by its junction swap
+	// survival Π q_j instead of 1, so the LP maximizes *expected
+	// established* connections rather than planned ones. Formulation (1)
+	// uses weight 1 and only prices swapping into capacity (the √(q_u·q_v)
+	// apportioning), which over-plans junction-heavy paths as q drops;
+	// with this flag SEE's planning degrades gracefully toward the pure
+	// all-optical solution at low q, matching the paper's Fig. 5.
+	// Pricing stays exact via a junction-layered Dijkstra.
+	SwapWeightedObjective bool
+	// MaxJunctions bounds the junction count considered by the layered
+	// pricing (default 14); only used with SwapWeightedObjective.
+	MaxJunctions int
+}
+
+func (o Options) withDefaults(set *segment.Set) Options {
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 120
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 1e-7
+	}
+	if o.MaxJunctions <= 0 {
+		o.MaxJunctions = 14
+	}
+	if o.ConnCap == nil {
+		o.ConnCap = make([]int, len(set.Pairs))
+		for i, sd := range set.Pairs {
+			o.ConnCap[i] = min(set.Net.Memory[sd.S], set.Net.Memory[sd.D])
+		}
+	}
+	return o
+}
+
+// model holds the row layout shared by pricing and column construction.
+type model struct {
+	set     *segment.Set
+	opts    Options
+	linkRow map[int]int // physical link ID -> row
+	memRow  map[int]int // node -> row
+	numRows int
+	solver  *lp.PackingSolver
+
+	// usage[pairEdgeID] is recomputed each round: the cheapest realization
+	// of each segment edge under current duals and its cost.
+	bestCost []float64
+	bestCand []*segment.Candidate
+
+	colKeys map[string]struct{}
+	columns []column
+
+	// Reusable buffers of the layered pricing DP.
+	priceDist     []float64
+	priceLogq     []float64
+	pricePrevNode []int32
+	pricePrevEdge []int32
+}
+
+type column struct {
+	commodity int
+	hops      []SegHop
+	nodes     graph.Path
+}
+
+// Solve runs column generation to LP optimality (or MaxRounds).
+func Solve(set *segment.Set, opts Options) (*Solution, error) {
+	if set == nil {
+		return nil, errors.New("flow: nil segment set")
+	}
+	opts = opts.withDefaults(set)
+	if len(opts.ConnCap) != len(set.Pairs) {
+		return nil, fmt.Errorf("flow: ConnCap has %d entries for %d pairs", len(opts.ConnCap), len(set.Pairs))
+	}
+
+	m := &model{set: set, opts: opts, colKeys: make(map[string]struct{})}
+	m.layoutRows()
+	var err error
+	m.solver, err = lp.NewPacking(m.rhs())
+	if err != nil {
+		return nil, fmt.Errorf("flow: building master: %w", err)
+	}
+
+	// Seed with resource-greedy columns: price under uniform unit duals so
+	// initial paths already prefer cheap, reliable segments.
+	m.priceRealizations(unitDuals(m.numRows))
+	for i := range set.Pairs {
+		m.addPricedColumn(i, math.Inf(-1), opts.Epsilon)
+	}
+
+	rounds := 0
+	for ; rounds < opts.MaxRounds; rounds++ {
+		status, err := m.solver.Solve()
+		if err != nil {
+			return nil, fmt.Errorf("flow: master solve: %w", err)
+		}
+		if status != lp.StatusOptimal {
+			return m.extract(status, rounds), nil
+		}
+		duals := m.solver.Duals()
+		m.priceRealizations(duals)
+		added := 0
+		for i := range set.Pairs {
+			// Add the path iff its reduced cost w_P − dual_i − cost > ε.
+			if m.addPricedColumn(i, duals[i], opts.Epsilon) {
+				added++
+			}
+		}
+		if added == 0 {
+			return m.extract(lp.StatusOptimal, rounds+1), nil
+		}
+	}
+	// Ran out of rounds: return the incumbent as a near-optimal solution.
+	return m.extract(lp.StatusIterLimit, rounds), nil
+}
+
+// layoutRows assigns row indices: commodities, used links, used endpoints.
+func (m *model) layoutRows() {
+	m.linkRow = make(map[int]int)
+	m.memRow = make(map[int]int)
+	row := len(m.set.Pairs)
+	for _, id := range m.set.UsedLinks() {
+		m.linkRow[id] = row
+		row++
+	}
+	for _, u := range m.set.UsedEndpoints() {
+		m.memRow[u] = row
+		row++
+	}
+	m.numRows = row
+}
+
+func (m *model) rhs() []float64 {
+	channels := m.opts.Channels
+	if channels == nil {
+		channels = m.set.Net.Channels
+	}
+	memory := m.opts.Memory
+	if memory == nil {
+		memory = m.set.Net.Memory
+	}
+	b := make([]float64, m.numRows)
+	for i, cap := range m.opts.ConnCap {
+		b[i] = float64(cap)
+	}
+	for id, row := range m.linkRow {
+		b[row] = maxf(0, float64(channels[id]))
+	}
+	for u, row := range m.memRow {
+		b[row] = maxf(0, float64(memory[u]))
+	}
+	return b
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func unitDuals(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = 1
+	}
+	return y
+}
+
+// attemptFactor is 1/(p·√(q_u q_v)); +Inf when the realization cannot
+// support flow.
+func (m *model) attemptFactor(c *segment.Candidate) float64 {
+	qu := m.set.Net.SwapProb[c.Path[0]]
+	qv := m.set.Net.SwapProb[c.Path[len(c.Path)-1]]
+	den := c.Prob * math.Sqrt(qu*qv)
+	if den <= 1e-12 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// priceRealizations computes, per segment edge, the cheapest realization
+// cost under the duals: factor · (Σ link duals + endpoint memory duals).
+func (m *model) priceRealizations(duals []float64) {
+	n := len(m.set.EdgePairs)
+	if m.bestCost == nil {
+		m.bestCost = make([]float64, n)
+		m.bestCand = make([]*segment.Candidate, n)
+	}
+	for id, pk := range m.set.EdgePairs {
+		best := math.Inf(1)
+		var bestC *segment.Candidate
+		memDual := duals[m.memRow[pk.U]] + duals[m.memRow[pk.V]]
+		for _, c := range m.set.ByPair[pk] {
+			f := m.attemptFactor(c)
+			if math.IsInf(f, 1) {
+				continue
+			}
+			sum := memDual
+			for _, e := range c.EdgeIDs {
+				sum += duals[m.linkRow[e]]
+			}
+			// A tiny per-segment epsilon keeps degenerate all-zero-dual
+			// rounds from returning needlessly long paths.
+			cost := f * (sum + 1e-9)
+			if cost < best {
+				best = cost
+				bestC = c
+			}
+		}
+		m.bestCost[id] = best
+		m.bestCand[id] = bestC
+	}
+}
+
+// addPricedColumn prices one commodity and adds the best path column if
+// its reduced cost w_P − dualI − cost exceeds eps (dualI = −Inf forces
+// seeding). Returns whether a new column was added.
+func (m *model) addPricedColumn(i int, dualI, eps float64) bool {
+	var nodes graph.Path
+	var edgeIDs []int
+	var weight float64
+	if m.opts.SwapWeightedObjective {
+		nodes, edgeIDs, weight = m.layeredPrice(i, dualI, eps)
+	} else {
+		sd := m.set.Pairs[i]
+		res := graph.Dijkstra(m.set.SegGraph, sd.S, graph.DijkstraOptions{
+			EdgeWeight: func(id int, _ float64) float64 { return m.bestCost[id] },
+		})
+		if res.Dist[sd.D] == graph.Unreachable || 1-dualI-res.Dist[sd.D] <= eps {
+			return false
+		}
+		nodes = res.PathTo(sd.D)
+		edgeIDs = res.EdgesTo(sd.D)
+		weight = 1
+	}
+	if nodes == nil {
+		return false
+	}
+	hops := make([]SegHop, len(edgeIDs))
+	var key strings.Builder
+	fmt.Fprintf(&key, "c%d", i)
+	for h, id := range edgeIDs {
+		cand := m.bestCand[id]
+		if cand == nil {
+			return false
+		}
+		hops[h] = SegHop{Pair: m.set.EdgePairs[id], Cand: cand}
+		fmt.Fprintf(&key, "|%d:%s", id, candKey(cand))
+	}
+	if _, dup := m.colKeys[key.String()]; dup {
+		return false
+	}
+	m.colKeys[key.String()] = struct{}{}
+
+	entries := m.columnEntries(i, hops)
+	if entries == nil {
+		return false
+	}
+	if _, err := m.solver.AddColumn(weight, entries); err != nil {
+		return false
+	}
+	m.columns = append(m.columns, column{commodity: i, hops: hops, nodes: nodes})
+	return true
+}
+
+func candKey(c *segment.Candidate) string {
+	var b strings.Builder
+	for _, v := range c.Path {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// columnEntries builds the sparse resource footprint of a path column.
+func (m *model) columnEntries(i int, hops []SegHop) []lp.Entry {
+	acc := make(map[int]float64, 2+3*len(hops))
+	acc[i] = 1
+	for _, h := range hops {
+		f := m.attemptFactor(h.Cand)
+		if math.IsInf(f, 1) {
+			return nil
+		}
+		for _, e := range h.Cand.EdgeIDs {
+			acc[m.linkRow[e]] += f
+		}
+		acc[m.memRow[h.Pair.U]] += f
+		acc[m.memRow[h.Pair.V]] += f
+	}
+	entries := make([]lp.Entry, 0, len(acc))
+	for row, v := range acc {
+		entries = append(entries, lp.Entry{Index: row, Value: v})
+	}
+	return entries
+}
+
+func (m *model) extract(status lp.Status, rounds int) *Solution {
+	sol := &Solution{
+		Status:       status,
+		Objective:    m.solver.Objective(),
+		PerCommodity: make([]float64, len(m.set.Pairs)),
+		Rounds:       rounds,
+		Columns:      len(m.columns),
+	}
+	primals := m.solver.Primals()
+	for j, v := range primals {
+		if v <= 1e-9 {
+			continue
+		}
+		col := m.columns[j]
+		sol.PerCommodity[col.commodity] += v
+		sol.Paths = append(sol.Paths, PathFlow{
+			Commodity: col.commodity,
+			Hops:      col.hops,
+			Nodes:     col.nodes,
+			Flow:      v,
+		})
+	}
+	return sol
+}

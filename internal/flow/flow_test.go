@@ -1,0 +1,450 @@
+package flow
+
+import (
+	"math"
+	"testing"
+
+	"see/internal/graph"
+	"see/internal/lp"
+	"see/internal/segment"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// lineNetwork builds a chain 0-1-…-n with uniform link length, channels,
+// memory and swap probability, and a zero-noise exponential prober.
+func lineNetwork(n int, linkKM float64, channels, memory int, q, alpha float64) *topo.Network {
+	net := &topo.Network{
+		G:        graph.New(n),
+		Pos:      make([][2]float64, n),
+		Memory:   make([]int, n),
+		SwapProb: make([]float64, n),
+	}
+	for i := 0; i < n; i++ {
+		net.Pos[i] = [2]float64{float64(i) * linkKM, 0}
+		net.Memory[i] = memory
+		net.SwapProb[i] = q
+	}
+	for i := 0; i+1 < n; i++ {
+		net.G.AddEdge(i, i+1, linkKM)
+		net.LinkLen = append(net.LinkLen, linkKM)
+		net.Channels = append(net.Channels, channels)
+	}
+	net.SetProber(topo.ExpProber{Alpha: alpha})
+	return net
+}
+
+func buildSet(t *testing.T, net *topo.Network, pairs []topo.SDPair, opts segment.Options) *segment.Set {
+	t.Helper()
+	set, err := segment.Build(net, pairs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestSolvePerfectChain(t *testing.T) {
+	// p = 1 and q = 1 everywhere: the only binding resource is the channel
+	// count, so the LP optimum is exactly the channel capacity.
+	net := lineNetwork(4, 100, 3, 10, 1, 0)
+	pairs := []topo.SDPair{{S: 0, D: 3}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-3) > 1e-6 {
+		t.Fatalf("objective = %v, want 3 (channel-bound)", sol.Objective)
+	}
+	if math.Abs(sol.PerCommodity[0]-3) > 1e-6 {
+		t.Fatalf("T_0 = %v, want 3", sol.PerCommodity[0])
+	}
+}
+
+func TestSolveMemoryBound(t *testing.T) {
+	// Endpoint memory 2 beats channel capacity 5.
+	net := lineNetwork(3, 100, 5, 2, 1, 0)
+	pairs := []topo.SDPair{{S: 0, D: 2}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-2) > 1e-6 {
+		t.Fatalf("objective = %v, want 2 (memory-bound)", sol.Objective)
+	}
+}
+
+func TestSolveConnCap(t *testing.T) {
+	net := lineNetwork(3, 100, 5, 10, 1, 0)
+	pairs := []topo.SDPair{{S: 0, D: 2}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{ConnCap: []int{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1) > 1e-6 {
+		t.Fatalf("objective = %v, want 1 (ConnCap)", sol.Objective)
+	}
+	if _, err := Solve(set, Options{ConnCap: []int{1, 2}}); err == nil {
+		t.Fatal("mismatched ConnCap length accepted")
+	}
+}
+
+func TestSolveUnroutablePair(t *testing.T) {
+	// Two disconnected line components.
+	net := &topo.Network{
+		G:        graph.New(4),
+		Pos:      make([][2]float64, 4),
+		Memory:   []int{5, 5, 5, 5},
+		SwapProb: []float64{1, 1, 1, 1},
+	}
+	net.G.AddEdge(0, 1, 100)
+	net.LinkLen = []float64{100}
+	net.Channels = []int{3}
+	net.G.AddEdge(2, 3, 100)
+	net.LinkLen = append(net.LinkLen, 100)
+	net.Channels = append(net.Channels, 3)
+	net.SetProber(topo.ExpProber{Alpha: 0})
+	set := buildSet(t, net, []topo.SDPair{{S: 0, D: 3}, {S: 0, D: 1}}, segment.DefaultOptions())
+	sol, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.PerCommodity[0] != 0 {
+		t.Fatalf("unroutable pair got flow %v", sol.PerCommodity[0])
+	}
+	if sol.PerCommodity[1] <= 0 {
+		t.Fatal("routable pair got no flow")
+	}
+}
+
+func TestSolveNilSet(t *testing.T) {
+	if _, err := Solve(nil, Options{}); err == nil {
+		t.Fatal("nil set accepted")
+	}
+}
+
+// verifyFeasibility recomputes resource usage from the returned paths and
+// asserts all capacities hold.
+func verifyFeasibility(t *testing.T, set *segment.Set, sol *Solution, caps []int) {
+	t.Helper()
+	linkUse := make(map[int]float64)
+	memUse := make(map[int]float64)
+	perC := make([]float64, len(set.Pairs))
+	for _, pf := range sol.Paths {
+		perC[pf.Commodity] += pf.Flow
+		if pf.Nodes[0] != set.Pairs[pf.Commodity].S || pf.Nodes[len(pf.Nodes)-1] != set.Pairs[pf.Commodity].D {
+			t.Fatalf("path endpoints %v do not match pair %+v", pf.Nodes, set.Pairs[pf.Commodity])
+		}
+		for h, hop := range pf.Hops {
+			if hop.Cand == nil {
+				t.Fatal("hop without candidate")
+			}
+			pk := segment.MakePairKey(pf.Nodes[h], pf.Nodes[h+1])
+			if hop.Pair != pk {
+				t.Fatalf("hop %d pair %+v != node sequence %+v", h, hop.Pair, pk)
+			}
+			qu := set.Net.SwapProb[hop.Cand.Path[0]]
+			qv := set.Net.SwapProb[hop.Cand.Path[len(hop.Cand.Path)-1]]
+			f := pf.Flow / (hop.Cand.Prob * math.Sqrt(qu*qv))
+			for _, e := range hop.Cand.EdgeIDs {
+				linkUse[e] += f
+			}
+			memUse[hop.Pair.U] += f
+			memUse[hop.Pair.V] += f
+		}
+	}
+	const eps = 1e-6
+	for e, use := range linkUse {
+		if use > float64(set.Net.Channels[e])+eps {
+			t.Fatalf("link %d overdrawn: %v > %d", e, use, set.Net.Channels[e])
+		}
+	}
+	for u, use := range memUse {
+		if use > float64(set.Net.Memory[u])+eps {
+			t.Fatalf("memory %d overdrawn: %v > %d", u, use, set.Net.Memory[u])
+		}
+	}
+	for i, v := range perC {
+		if caps != nil && v > float64(caps[i])+eps {
+			t.Fatalf("commodity %d exceeds cap: %v > %d", i, v, caps[i])
+		}
+		if math.Abs(v-sol.PerCommodity[i]) > eps {
+			t.Fatalf("PerCommodity[%d] = %v, recomputed %v", i, sol.PerCommodity[i], v)
+		}
+	}
+}
+
+func TestSolveMotivationFeasibleAndPositive(t *testing.T) {
+	net, pairs := topo.Motivation()
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if sol.Objective <= 0.5 || sol.Objective > 2+1e-9 {
+		t.Fatalf("objective = %v outside (0.5, 2]", sol.Objective)
+	}
+	verifyFeasibility(t, set, sol, nil)
+}
+
+// denseEquivalent builds the arc-form LP of formulation (1) (aggregated
+// over n) with the dense solver, as an oracle for the column-generation
+// stack.
+func denseEquivalent(t *testing.T, set *segment.Set, connCap []int) float64 {
+	t.Helper()
+	type arc struct{ from, to, edgeID int }
+	var arcs []arc
+	for id, pk := range set.EdgePairs {
+		arcs = append(arcs, arc{pk.U, pk.V, id}, arc{pk.V, pk.U, id})
+	}
+	numPairs := len(set.Pairs)
+	// Variables: f[i][a] per commodity per arc, x[pair][cand], T[i].
+	fBase := 0
+	numF := numPairs * len(arcs)
+	xIndex := make(map[*segment.Candidate]int)
+	next := fBase + numF
+	for _, pk := range set.EdgePairs {
+		for _, c := range set.ByPair[pk] {
+			xIndex[c] = next
+			next++
+		}
+	}
+	tBase := next
+	next += numPairs
+	p := lp.NewDense(next)
+	for i := 0; i < numPairs; i++ {
+		p.SetObjective(tBase+i, 1)
+	}
+	fVar := func(i, a int) int { return fBase + i*len(arcs) + a }
+	// Flow conservation.
+	for i, sd := range set.Pairs {
+		for u := 0; u < set.Net.NumNodes(); u++ {
+			var row []lp.Entry
+			for a, ar := range arcs {
+				if ar.from == u {
+					row = append(row, lp.Entry{Index: fVar(i, a), Value: 1})
+				}
+				if ar.to == u {
+					row = append(row, lp.Entry{Index: fVar(i, a), Value: -1})
+				}
+			}
+			switch u {
+			case sd.S:
+				row = append(row, lp.Entry{Index: tBase + i, Value: -1})
+			case sd.D:
+				row = append(row, lp.Entry{Index: tBase + i, Value: 1})
+			}
+			if len(row) == 0 {
+				continue
+			}
+			p.AddConstraint(row, lp.EQ, 0)
+		}
+	}
+	// (1d): flow across a pair <= sum p x sqrt(qu qv).
+	for id, pk := range set.EdgePairs {
+		var row []lp.Entry
+		for i := 0; i < numPairs; i++ {
+			for a, ar := range arcs {
+				if ar.edgeID == id {
+					row = append(row, lp.Entry{Index: fVar(i, a), Value: 1})
+				}
+			}
+		}
+		qs := math.Sqrt(set.Net.SwapProb[pk.U] * set.Net.SwapProb[pk.V])
+		for _, c := range set.ByPair[pk] {
+			row = append(row, lp.Entry{Index: xIndex[c], Value: -c.Prob * qs})
+		}
+		p.AddConstraint(row, lp.LE, 0)
+	}
+	// (1e): channel capacity.
+	for _, linkID := range set.UsedLinks() {
+		var row []lp.Entry
+		for _, pk := range set.EdgePairs {
+			for _, c := range set.ByPair[pk] {
+				for _, e := range c.EdgeIDs {
+					if e == linkID {
+						row = append(row, lp.Entry{Index: xIndex[c], Value: 1})
+					}
+				}
+			}
+		}
+		p.AddConstraint(row, lp.LE, float64(set.Net.Channels[linkID]))
+	}
+	// (1f): memory.
+	for _, u := range set.UsedEndpoints() {
+		var row []lp.Entry
+		for _, pk := range set.EdgePairs {
+			if pk.U != u && pk.V != u {
+				continue
+			}
+			for _, c := range set.ByPair[pk] {
+				row = append(row, lp.Entry{Index: xIndex[c], Value: 1})
+			}
+		}
+		p.AddConstraint(row, lp.LE, float64(set.Net.Memory[u]))
+	}
+	// T_i caps.
+	for i := range set.Pairs {
+		cap := connCap[i]
+		p.AddConstraint([]lp.Entry{{Index: tBase + i, Value: 1}}, lp.LE, float64(cap))
+	}
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("dense oracle status = %v", sol.Status)
+	}
+	return sol.Objective
+}
+
+// Property: column generation matches the dense arc-form LP on the
+// motivation fixture and small random networks.
+func TestSolveMatchesDenseOracle(t *testing.T) {
+	check := func(name string, set *segment.Set) {
+		connCap := make([]int, len(set.Pairs))
+		for i, sd := range set.Pairs {
+			connCap[i] = min(set.Net.Memory[sd.S], set.Net.Memory[sd.D])
+		}
+		sol, err := Solve(set, Options{ConnCap: connCap})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := denseEquivalent(t, set, connCap)
+		if math.Abs(sol.Objective-want) > 1e-5*(1+want) {
+			t.Fatalf("%s: colgen %v != dense %v", name, sol.Objective, want)
+		}
+		verifyFeasibility(t, set, sol, connCap)
+	}
+
+	net, pairs := topo.Motivation()
+	check("motivation", buildSet(t, net, pairs, segment.DefaultOptions()))
+
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := topo.DefaultConfig()
+		cfg.Nodes = 14
+		rnet, err := topo.Generate(cfg, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rpairs := topo.ChooseSDPairs(rnet, 3, xrand.New(seed+100))
+		opts := segment.DefaultOptions()
+		opts.KPaths = 3
+		opts.MaxSegmentHops = 3
+		check("random", buildSet(t, rnet, rpairs, opts))
+	}
+}
+
+func TestSolveZeroSwapProbability(t *testing.T) {
+	// q = 0 at every node: no segment can support flow (the √(q_u q_v)
+	// apportioning zeroes capacity), so the LP optimum is 0 and no columns
+	// are usable.
+	net := lineNetwork(3, 100, 3, 10, 0, 0)
+	pairs := []topo.SDPair{{S: 0, D: 2}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective != 0 {
+		t.Fatalf("objective = %v, want 0", sol.Objective)
+	}
+}
+
+// With the swap-weighted objective on a perfect network (q = 1) the optimum
+// is unchanged: every path has weight 1.
+func TestSwapWeightedMatchesPlainAtQ1(t *testing.T) {
+	net := lineNetwork(5, 100, 3, 10, 1, 0)
+	pairs := []topo.SDPair{{S: 0, D: 4}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	plain, err := Solve(set, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := Solve(set, Options{SwapWeightedObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(plain.Objective-weighted.Objective) > 1e-6 {
+		t.Fatalf("q=1: plain %v != weighted %v", plain.Objective, weighted.Objective)
+	}
+}
+
+// At low swap probability the weighted objective must choose junction-light
+// paths: on a 3-node line with a 2-hop candidate, all flow should ride the
+// direct segment rather than two links joined by a swap.
+func TestSwapWeightedPrefersFewJunctions(t *testing.T) {
+	net := lineNetwork(3, 100, 4, 10, 0.5, 0) // q = 0.5, p = 1 (alpha 0)
+	pairs := []topo.SDPair{{S: 0, D: 2}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{SwapWeightedObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != lp.StatusOptimal {
+		t.Fatalf("status %v", sol.Status)
+	}
+	for _, pf := range sol.Paths {
+		if pf.Flow > 1e-6 && len(pf.Hops) != 1 {
+			t.Fatalf("weighted LP put flow %v on a %d-junction path at q=0.5", pf.Flow, len(pf.Hops)-1)
+		}
+	}
+}
+
+// The weighted objective value is Σ w_P·y_P with w_P = q^junctions; verify
+// on a controlled instance. Line 0-1-2 with q = 0.8 everywhere, p = 1,
+// channels 2, memory 10: the direct segment 0-2 uses both links with
+// factor 1/(1·0.8) = 1.25; capacity 2 per link allows 1.6 units of direct
+// flow with weight 1 -> objective 1.6. The link-pair alternative wastes
+// memory at node 1 and has weight 0.8 with identical channel cost, so the
+// optimum is the direct segment.
+func TestSwapWeightedObjectiveValue(t *testing.T) {
+	net := lineNetwork(3, 100, 2, 10, 0.8, 0)
+	pairs := []topo.SDPair{{S: 0, D: 2}}
+	set := buildSet(t, net, pairs, segment.DefaultOptions())
+	sol, err := Solve(set, Options{SwapWeightedObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Objective-1.6) > 1e-6 {
+		t.Fatalf("objective = %v, want 1.6", sol.Objective)
+	}
+}
+
+// Weighted objective can never exceed the unweighted optimum (weights <= 1)
+// and both must remain feasible; property-checked on random networks.
+func TestSwapWeightedBoundedByPlain(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		cfg := topo.DefaultConfig()
+		cfg.Nodes = 16
+		cfg.SwapProb = 0.7
+		net, err := topo.Generate(cfg, xrand.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs := topo.ChooseSDPairs(net, 3, xrand.New(seed+50))
+		opts := segment.DefaultOptions()
+		opts.KPaths = 3
+		set := buildSet(t, net, pairs, opts)
+		plain, err := Solve(set, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		weighted, err := Solve(set, Options{SwapWeightedObjective: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if weighted.Objective > plain.Objective+1e-6 {
+			t.Fatalf("seed %d: weighted %v > plain %v", seed, weighted.Objective, plain.Objective)
+		}
+		verifyFeasibility(t, set, weighted, nil)
+	}
+}

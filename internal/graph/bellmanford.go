@@ -1,0 +1,53 @@
+package graph
+
+// BellmanFord computes single-source shortest path distances by edge
+// relaxation. It is O(V·E) and exists primarily as a property-test oracle
+// for Dijkstra; it supports the same intermediate-node weighting.
+//
+// The bool result is false if a negative cycle is reachable from the source.
+func BellmanFord(g *Graph, source int, opts DijkstraOptions) ([]float64, bool) {
+	n := g.N()
+	dist := make([]float64, n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if source < 0 || source >= n {
+		return dist, true
+	}
+	dist[source] = 0
+	relaxAll := func() bool {
+		changed := false
+		for u := 0; u < n; u++ {
+			if dist[u] == Unreachable {
+				continue
+			}
+			depart := dist[u]
+			if opts.NodeWeight != nil && u != source {
+				depart += opts.NodeWeight(u)
+			}
+			for _, e := range g.Neighbors(u) {
+				if opts.Forbidden != nil && opts.Forbidden(e.To) {
+					continue
+				}
+				if opts.ForbiddenEdge != nil && opts.ForbiddenEdge(e.ID) {
+					continue
+				}
+				w := e.Weight
+				if opts.EdgeWeight != nil {
+					w = opts.EdgeWeight(e.ID, e.Weight)
+				}
+				if nd := depart + w; nd < dist[e.To] {
+					dist[e.To] = nd
+					changed = true
+				}
+			}
+		}
+		return changed
+	}
+	for i := 0; i < n-1; i++ {
+		if !relaxAll() {
+			return dist, true
+		}
+	}
+	return dist, !relaxAll()
+}

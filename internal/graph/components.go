@@ -1,0 +1,117 @@
+package graph
+
+// Components labels the connected components of the graph treating every
+// arc as traversable in its stored direction (for undirected graphs this is
+// ordinary connectivity). It returns the component ID of each node and the
+// number of components.
+func Components(g *Graph) (label []int, count int) {
+	n := g.N()
+	label = make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var stack []int
+	for v := 0; v < n; v++ {
+		if label[v] != -1 {
+			continue
+		}
+		label[v] = count
+		stack = append(stack[:0], v)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, e := range g.Neighbors(u) {
+				if label[e.To] == -1 {
+					label[e.To] = count
+					stack = append(stack, e.To)
+				}
+			}
+		}
+		count++
+	}
+	return label, count
+}
+
+// Connected reports whether the graph has exactly one connected component
+// (empty graphs are considered connected).
+func Connected(g *Graph) bool {
+	_, c := Components(g)
+	return c <= 1
+}
+
+// BFSHops returns the minimum hop count from source to every node
+// (Unreachable-like -1 for unreachable nodes).
+func BFSHops(g *Graph, source int) []int {
+	n := g.N()
+	hops := make([]int, n)
+	for i := range hops {
+		hops[i] = -1
+	}
+	if source < 0 || source >= n {
+		return hops
+	}
+	hops[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, e := range g.Neighbors(u) {
+			if hops[e.To] == -1 {
+				hops[e.To] = hops[u] + 1
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return hops
+}
+
+// UnionFind is a disjoint-set structure with path compression and union by
+// size.
+type UnionFind struct {
+	parent []int
+	size   []int
+}
+
+// NewUnionFind returns a UnionFind over n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	uf := &UnionFind{parent: make([]int, n), size: make([]int, n)}
+	for i := range uf.parent {
+		uf.parent[i] = i
+		uf.size[i] = 1
+	}
+	return uf
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x int) int {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]]
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of a and b, returning false if already joined.
+func (uf *UnionFind) Union(a, b int) bool {
+	ra, rb := uf.Find(a), uf.Find(b)
+	if ra == rb {
+		return false
+	}
+	if uf.size[ra] < uf.size[rb] {
+		ra, rb = rb, ra
+	}
+	uf.parent[rb] = ra
+	uf.size[ra] += uf.size[rb]
+	return true
+}
+
+// SetCount returns the number of disjoint sets remaining.
+func (uf *UnionFind) SetCount() int {
+	count := 0
+	for i, p := range uf.parent {
+		if i == p {
+			count++
+		}
+	}
+	return count
+}

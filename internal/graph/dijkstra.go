@@ -1,0 +1,201 @@
+package graph
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Unreachable is the distance reported for nodes with no path from the
+// source.
+const Unreachable = math.MaxFloat64
+
+// DijkstraOptions controls a shortest-path run.
+type DijkstraOptions struct {
+	// NodeWeight, when non-nil, adds NodeWeight(v) every time the path
+	// passes *through* v as an intermediate node (it is charged when
+	// departing v, so neither the source nor the final destination pay
+	// their own weight). This matches the auxiliary-graph construction in
+	// the paper's ECE algorithm, where junction nodes cost −ln q_u.
+	NodeWeight func(v int) float64
+	// Forbidden, when non-nil, reports nodes that must not be traversed.
+	// The source is always allowed.
+	Forbidden func(v int) bool
+	// ForbiddenEdge, when non-nil, reports edge IDs that must not be used.
+	ForbiddenEdge func(id int) bool
+	// EdgeWeight, when non-nil, overrides the stored weight of each edge.
+	// Returning a negative value is invalid. It allows callers (e.g. the
+	// column-generation pricing oracle) to re-weight a graph per query
+	// without rebuilding it.
+	EdgeWeight func(id int, stored float64) float64
+}
+
+// ShortestResult holds single-source shortest path output.
+type ShortestResult struct {
+	Dist []float64
+	// prev[v] is the predecessor node on a shortest path, prevEdge[v] the
+	// edge ID used to enter v; both are -1 for the source and unreachable
+	// nodes.
+	prev     []int
+	prevEdge []int
+	source   int
+}
+
+// PathTo reconstructs a shortest path from the source to t, or nil if t is
+// unreachable.
+func (r *ShortestResult) PathTo(t int) Path {
+	if t < 0 || t >= len(r.Dist) || r.Dist[t] == Unreachable {
+		return nil
+	}
+	var rev []int
+	for v := t; v != -1; v = r.prev[v] {
+		rev = append(rev, v)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EdgesTo returns the edge IDs along the shortest path to t, or nil if
+// unreachable.
+func (r *ShortestResult) EdgesTo(t int) []int {
+	if t < 0 || t >= len(r.Dist) || r.Dist[t] == Unreachable || t == r.source {
+		return nil
+	}
+	var rev []int
+	for v := t; r.prev[v] != -1; v = r.prev[v] {
+		rev = append(rev, r.prevEdge[v])
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type priorityQueue []pqItem
+
+func (q priorityQueue) Len() int            { return len(q) }
+func (q priorityQueue) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q priorityQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *priorityQueue) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *priorityQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// Dijkstra computes single-source shortest paths with non-negative edge
+// weights, optionally adding node weights at intermediate nodes and
+// honouring node/edge exclusions. Negative edge weights cause undefined
+// results; use BellmanFord to detect them in tests.
+func Dijkstra(g *Graph, source int, opts DijkstraOptions) *ShortestResult {
+	n := g.N()
+	res := &ShortestResult{
+		Dist:     make([]float64, n),
+		prev:     make([]int, n),
+		prevEdge: make([]int, n),
+		source:   source,
+	}
+	for i := range res.Dist {
+		res.Dist[i] = Unreachable
+		res.prev[i] = -1
+		res.prevEdge[i] = -1
+	}
+	if source < 0 || source >= n {
+		return res
+	}
+	res.Dist[source] = 0
+	done := make([]bool, n)
+	pq := priorityQueue{{node: source, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(&pq).(pqItem)
+		u := it.node
+		if done[u] {
+			continue
+		}
+		done[u] = true
+		// Departing u costs its node weight, unless u is the source.
+		depart := it.dist
+		if opts.NodeWeight != nil && u != source {
+			depart += opts.NodeWeight(u)
+		}
+		for _, e := range g.Neighbors(u) {
+			if done[e.To] {
+				continue
+			}
+			if opts.Forbidden != nil && opts.Forbidden(e.To) {
+				continue
+			}
+			if opts.ForbiddenEdge != nil && opts.ForbiddenEdge(e.ID) {
+				continue
+			}
+			w := e.Weight
+			if opts.EdgeWeight != nil {
+				w = opts.EdgeWeight(e.ID, e.Weight)
+			}
+			nd := depart + w
+			if nd < res.Dist[e.To] {
+				res.Dist[e.To] = nd
+				res.prev[e.To] = u
+				res.prevEdge[e.To] = e.ID
+				heap.Push(&pq, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	return res
+}
+
+// ShortestPath is a convenience wrapper returning the path from s to t and
+// its length. It returns (nil, Unreachable) when no path exists.
+func ShortestPath(g *Graph, s, t int, opts DijkstraOptions) (Path, float64) {
+	res := Dijkstra(g, s, opts)
+	p := res.PathTo(t)
+	if p == nil {
+		return nil, Unreachable
+	}
+	return p, res.Dist[t]
+}
+
+// PathLength computes the total cost of a path under the same cost model as
+// Dijkstra (edge weights plus node weights at intermediate nodes). The edge
+// chosen between consecutive nodes is the minimum-weight parallel arc. It
+// returns Unreachable if consecutive nodes are not adjacent.
+func PathLength(g *Graph, p Path, opts DijkstraOptions) float64 {
+	if len(p) == 0 {
+		return Unreachable
+	}
+	var total float64
+	for i := 0; i+1 < len(p); i++ {
+		if i > 0 && opts.NodeWeight != nil {
+			total += opts.NodeWeight(p[i])
+		}
+		best := Unreachable
+		for _, e := range g.Neighbors(p[i]) {
+			if e.To != p[i+1] {
+				continue
+			}
+			if opts.ForbiddenEdge != nil && opts.ForbiddenEdge(e.ID) {
+				continue
+			}
+			w := e.Weight
+			if opts.EdgeWeight != nil {
+				w = opts.EdgeWeight(e.ID, e.Weight)
+			}
+			if w < best {
+				best = w
+			}
+		}
+		if best == Unreachable {
+			return Unreachable
+		}
+		total += best
+	}
+	return total
+}

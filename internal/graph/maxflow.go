@@ -1,0 +1,115 @@
+package graph
+
+// MaxFlow computes the maximum s→t flow with integer capacities using
+// Dinic's algorithm. The evaluation harness uses it as an oracle: the
+// number of connections any selection algorithm (ECE phase B, REPS's EPS)
+// can assemble for one SD pair from realized segments is at most the max
+// flow of the availability graph with unit node capacities relaxed.
+type MaxFlow struct {
+	n     int
+	head  []int
+	next  []int
+	to    []int
+	cap   []int
+	level []int
+	iter  []int
+}
+
+// NewMaxFlow creates a flow network with n nodes.
+func NewMaxFlow(n int) *MaxFlow {
+	head := make([]int, n)
+	for i := range head {
+		head[i] = -1
+	}
+	return &MaxFlow{n: n, head: head}
+}
+
+// AddEdge inserts a directed edge with the given capacity (and a residual
+// reverse edge of capacity 0). It returns the edge index for FlowOn.
+func (m *MaxFlow) AddEdge(from, to, capacity int) int {
+	id := len(m.to)
+	m.to = append(m.to, to)
+	m.cap = append(m.cap, capacity)
+	m.next = append(m.next, m.head[from])
+	m.head[from] = id
+
+	m.to = append(m.to, from)
+	m.cap = append(m.cap, 0)
+	m.next = append(m.next, m.head[to])
+	m.head[to] = id + 1
+	return id
+}
+
+// AddUndirected inserts an undirected unit-type edge: capacity in both
+// directions.
+func (m *MaxFlow) AddUndirected(a, b, capacity int) {
+	id := len(m.to)
+	m.to = append(m.to, b)
+	m.cap = append(m.cap, capacity)
+	m.next = append(m.next, m.head[a])
+	m.head[a] = id
+
+	m.to = append(m.to, a)
+	m.cap = append(m.cap, capacity)
+	m.next = append(m.next, m.head[b])
+	m.head[b] = id + 1
+}
+
+func (m *MaxFlow) bfs(s, t int) bool {
+	m.level = make([]int, m.n)
+	for i := range m.level {
+		m.level[i] = -1
+	}
+	queue := []int{s}
+	m.level[s] = 0
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for e := m.head[v]; e != -1; e = m.next[e] {
+			if m.cap[e] > 0 && m.level[m.to[e]] < 0 {
+				m.level[m.to[e]] = m.level[v] + 1
+				queue = append(queue, m.to[e])
+			}
+		}
+	}
+	return m.level[t] >= 0
+}
+
+func (m *MaxFlow) dfs(v, t, f int) int {
+	if v == t {
+		return f
+	}
+	for ; m.iter[v] != -1; m.iter[v] = m.next[m.iter[v]] {
+		e := m.iter[v]
+		u := m.to[e]
+		if m.cap[e] > 0 && m.level[u] == m.level[v]+1 {
+			d := m.dfs(u, t, min(f, m.cap[e]))
+			if d > 0 {
+				m.cap[e] -= d
+				m.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// Solve returns the maximum flow from s to t. It may be called once per
+// network (capacities are consumed).
+func (m *MaxFlow) Solve(s, t int) int {
+	if s == t {
+		return 0
+	}
+	flow := 0
+	for m.bfs(s, t) {
+		m.iter = append([]int(nil), m.head...)
+		for {
+			f := m.dfs(s, t, 1<<60)
+			if f == 0 {
+				break
+			}
+			flow += f
+		}
+	}
+	return flow
+}

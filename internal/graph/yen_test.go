@@ -1,0 +1,153 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestYenSimpleDiamond(t *testing.T) {
+	// 0-1-3 (len 2), 0-2-3 (len 3), 0-3 (len 4)
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 1)
+	g.AddEdge(2, 3, 2)
+	g.AddEdge(0, 3, 4)
+	paths := YenKShortest(g, 0, 3, 3, DijkstraOptions{})
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	if !paths[0].Equal(Path{0, 1, 3}) {
+		t.Fatalf("path[0] = %v", paths[0])
+	}
+	if !paths[1].Equal(Path{0, 2, 3}) {
+		t.Fatalf("path[1] = %v", paths[1])
+	}
+	if !paths[2].Equal(Path{0, 3}) {
+		t.Fatalf("path[2] = %v", paths[2])
+	}
+}
+
+func TestYenFewerPathsThanK(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 2, 1)
+	paths := YenKShortest(g, 0, 2, 5, DijkstraOptions{})
+	if len(paths) != 1 {
+		t.Fatalf("got %d paths, want 1 (line graph)", len(paths))
+	}
+}
+
+func TestYenNoPath(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1, 1)
+	if paths := YenKShortest(g, 0, 2, 3, DijkstraOptions{}); paths != nil {
+		t.Fatalf("got %v, want nil for disconnected target", paths)
+	}
+}
+
+func TestYenSourceEqualsTarget(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	paths := YenKShortest(g, 0, 0, 3, DijkstraOptions{})
+	if len(paths) != 1 || !paths[0].Equal(Path{0}) {
+		t.Fatalf("got %v, want single trivial path", paths)
+	}
+}
+
+func TestYenInvalidArgs(t *testing.T) {
+	g := New(2)
+	g.AddEdge(0, 1, 1)
+	if YenKShortest(g, 0, 1, 0, DijkstraOptions{}) != nil {
+		t.Fatal("k=0 must return nil")
+	}
+	if YenKShortest(g, -1, 1, 2, DijkstraOptions{}) != nil {
+		t.Fatal("bad source must return nil")
+	}
+	if YenKShortest(g, 0, 9, 2, DijkstraOptions{}) != nil {
+		t.Fatal("bad target must return nil")
+	}
+}
+
+func TestYenRespectsNodeWeights(t *testing.T) {
+	// Through node 1 is shorter in edges but node 1 is expensive.
+	g := New(4)
+	g.AddEdge(0, 1, 1)
+	g.AddEdge(1, 3, 1)
+	g.AddEdge(0, 2, 2)
+	g.AddEdge(2, 3, 2)
+	nw := func(v int) float64 {
+		if v == 1 {
+			return 10
+		}
+		return 0
+	}
+	paths := YenKShortest(g, 0, 3, 2, DijkstraOptions{NodeWeight: nw})
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths", len(paths))
+	}
+	if !paths[0].Equal(Path{0, 2, 3}) {
+		t.Fatalf("first path should avoid heavy node: %v", paths[0])
+	}
+}
+
+// Properties on random graphs: paths are loopless, distinct, sorted by
+// length, start/end correctly, and the first path is the Dijkstra shortest.
+func TestYenProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 4 + rng.Intn(16)
+		g := randomGraph(rng, n, rng.Intn(2*n))
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s == d {
+			continue
+		}
+		k := 1 + rng.Intn(6)
+		paths := YenKShortest(g, s, d, k, DijkstraOptions{})
+		if len(paths) == 0 {
+			t.Fatalf("random tree-based graph must connect %d-%d", s, d)
+		}
+		if len(paths) > k {
+			t.Fatalf("returned %d > k=%d paths", len(paths), k)
+		}
+		_, want := ShortestPath(g, s, d, DijkstraOptions{})
+		if got := PathLength(g, paths[0], DijkstraOptions{}); got > want+1e-9 {
+			t.Fatalf("first Yen path length %v > Dijkstra %v", got, want)
+		}
+		seen := map[string]struct{}{}
+		prevLen := -1.0
+		for _, p := range paths {
+			if p[0] != s || p[len(p)-1] != d {
+				t.Fatalf("bad endpoints: %v", p)
+			}
+			if !p.Loopless() {
+				t.Fatalf("loopy path: %v", p)
+			}
+			key := pathKey(p)
+			if _, dup := seen[key]; dup {
+				t.Fatalf("duplicate path: %v", p)
+			}
+			seen[key] = struct{}{}
+			l := PathLength(g, p, DijkstraOptions{})
+			if l < prevLen-1e-9 {
+				t.Fatalf("paths not sorted by length: %v after %v", l, prevLen)
+			}
+			prevLen = l
+		}
+	}
+}
+
+func TestYenFindsAllSimplePathsInSmallGraph(t *testing.T) {
+	// Complete graph K4 with unit weights has 5 simple paths 0→3:
+	// direct, two 2-hop, two 3-hop.
+	g := New(4)
+	for u := 0; u < 4; u++ {
+		for v := u + 1; v < 4; v++ {
+			g.AddEdge(u, v, 1)
+		}
+	}
+	paths := YenKShortest(g, 0, 3, 10, DijkstraOptions{})
+	if len(paths) != 5 {
+		t.Fatalf("got %d paths, want 5: %v", len(paths), paths)
+	}
+}

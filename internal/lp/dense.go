@@ -1,0 +1,317 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// DenseProblem is a small general LP: maximize cᵀx subject to rows of any
+// sense, x ≥ 0. It is solved with a two-phase tableau simplex. Intended for
+// models up to a few hundred rows/columns (unit tests, the motivation
+// example, cross-validation of the column-generation stack).
+type DenseProblem struct {
+	numVars int
+	obj     []float64
+	rows    [][]Entry
+	senses  []Sense
+	rhs     []float64
+	// MaxIter caps simplex pivots per phase; 0 means an automatic cap.
+	MaxIter int
+}
+
+// DenseSolution is the result of DenseProblem.Solve.
+type DenseSolution struct {
+	Status    Status
+	Objective float64
+	X         []float64
+}
+
+// NewDense returns an empty problem with n non-negative variables.
+func NewDense(n int) *DenseProblem {
+	return &DenseProblem{numVars: n, obj: make([]float64, n)}
+}
+
+// NumVars returns the number of variables.
+func (p *DenseProblem) NumVars() int { return p.numVars }
+
+// NumRows returns the number of constraints added so far.
+func (p *DenseProblem) NumRows() int { return len(p.rows) }
+
+// SetObjective sets the (maximization) objective coefficient of variable j.
+func (p *DenseProblem) SetObjective(j int, c float64) error {
+	if j < 0 || j >= p.numVars {
+		return fmt.Errorf("lp: objective index %d out of range [0,%d)", j, p.numVars)
+	}
+	p.obj[j] = c
+	return nil
+}
+
+// AddConstraint appends a row Σ coeffs·x (sense) rhs. Entries may repeat a
+// variable; coefficients are summed.
+func (p *DenseProblem) AddConstraint(coeffs []Entry, sense Sense, rhs float64) error {
+	if sense != LE && sense != GE && sense != EQ {
+		return fmt.Errorf("lp: invalid sense %v", sense)
+	}
+	for _, e := range coeffs {
+		if e.Index < 0 || e.Index >= p.numVars {
+			return fmt.Errorf("lp: constraint index %d out of range [0,%d)", e.Index, p.numVars)
+		}
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return fmt.Errorf("lp: non-finite coefficient for variable %d", e.Index)
+		}
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return errors.New("lp: non-finite rhs")
+	}
+	p.rows = append(p.rows, append([]Entry(nil), coeffs...))
+	p.senses = append(p.senses, sense)
+	p.rhs = append(p.rhs, rhs)
+	return nil
+}
+
+// Solve runs the two-phase simplex and returns the solution. The problem is
+// not mutated and can be re-solved after adding constraints.
+func (p *DenseProblem) Solve() (*DenseSolution, error) {
+	m := len(p.rows)
+	n := p.numVars
+
+	// Normalize rows so rhs ≥ 0, flipping senses as needed.
+	senses := append([]Sense(nil), p.senses...)
+	rhs := append([]float64(nil), p.rhs...)
+	dense := make([][]float64, m)
+	for i, row := range p.rows {
+		dense[i] = make([]float64, n)
+		for _, e := range row {
+			dense[i][e.Index] += e.Value
+		}
+		if rhs[i] < 0 {
+			rhs[i] = -rhs[i]
+			for j := range dense[i] {
+				dense[i][j] = -dense[i][j]
+			}
+			switch senses[i] {
+			case LE:
+				senses[i] = GE
+			case GE:
+				senses[i] = LE
+			}
+		}
+	}
+
+	// Column layout: [structural n][slack/surplus per row][artificial per
+	// row as needed][rhs].
+	numSlack := 0
+	slackCol := make([]int, m)
+	for i, s := range senses {
+		if s == LE || s == GE {
+			slackCol[i] = n + numSlack
+			numSlack++
+		} else {
+			slackCol[i] = -1
+		}
+	}
+	numArt := 0
+	artCol := make([]int, m)
+	artBase := n + numSlack
+	for i, s := range senses {
+		if s == GE || s == EQ {
+			artCol[i] = artBase + numArt
+			numArt++
+		} else {
+			artCol[i] = -1
+		}
+	}
+	total := n + numSlack + numArt
+	width := total + 1 // + rhs
+
+	tab := make([][]float64, m)
+	basis := make([]int, m)
+	for i := 0; i < m; i++ {
+		tab[i] = make([]float64, width)
+		copy(tab[i], dense[i])
+		switch senses[i] {
+		case LE:
+			tab[i][slackCol[i]] = 1
+			basis[i] = slackCol[i]
+		case GE:
+			tab[i][slackCol[i]] = -1
+			tab[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		case EQ:
+			tab[i][artCol[i]] = 1
+			basis[i] = artCol[i]
+		}
+		tab[i][total] = rhs[i]
+	}
+
+	maxIter := p.MaxIter
+	if maxIter <= 0 {
+		maxIter = 200 * (m + total + 10)
+	}
+
+	if numArt > 0 {
+		// Phase 1: maximize −Σ artificials.
+		phase1 := make([]float64, total)
+		for i := 0; i < m; i++ {
+			if artCol[i] >= 0 {
+				phase1[artCol[i]] = -1
+			}
+		}
+		status := runSimplex(tab, basis, phase1, total, maxIter, artBase)
+		if status == StatusIterLimit {
+			return &DenseSolution{Status: StatusIterLimit}, nil
+		}
+		// Phase-1 objective value = −Σ artificial values.
+		var artSum float64
+		for i, b := range basis {
+			if b >= artBase {
+				artSum += tab[i][total]
+			}
+		}
+		if artSum > 1e-7 {
+			return &DenseSolution{Status: StatusInfeasible}, nil
+		}
+		// Drive remaining degenerate artificials out of the basis.
+		for i, b := range basis {
+			if b < artBase {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < artBase; j++ {
+				if math.Abs(tab[i][j]) > pivotTol {
+					pivot(tab, basis, i, j, total)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: zero it so it cannot interfere.
+				for j := 0; j <= total; j++ {
+					tab[i][j] = 0
+				}
+				basis[i] = -1
+			}
+		}
+	}
+
+	// Phase 2: original objective; artificial columns are barred.
+	phase2 := make([]float64, total)
+	copy(phase2, p.obj)
+	status := runSimplex(tab, basis, phase2, total, maxIter, artBase)
+	if status != StatusOptimal {
+		return &DenseSolution{Status: status}, nil
+	}
+
+	x := make([]float64, n)
+	for i, b := range basis {
+		if b >= 0 && b < n {
+			x[b] = tab[i][total]
+		}
+	}
+	var objVal float64
+	for j, c := range p.obj {
+		objVal += c * x[j]
+	}
+	return &DenseSolution{Status: StatusOptimal, Objective: objVal, X: x}, nil
+}
+
+// runSimplex maximizes objᵀx over the current tableau. Columns with index
+// ≥ artBar are never allowed to (re-)enter the basis. It mutates tab/basis.
+func runSimplex(tab [][]float64, basis []int, obj []float64, rhsCol, maxIter, artBar int) Status {
+	m := len(tab)
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		// Reduced costs: rc_j = obj_j − Σ_i obj_{basis[i]} tab[i][j].
+		// Compute multipliers lazily: cb_i = obj[basis[i]].
+		cb := make([]float64, m)
+		for i, b := range basis {
+			if b >= 0 {
+				cb[i] = obj[b]
+			}
+		}
+		entering := -1
+		bestRC := tol
+		useBland := stall > 2*m+50
+		for j := 0; j < rhsCol; j++ {
+			if j >= artBar {
+				break // artificial columns barred from entering
+			}
+			if isBasic(basis, j) {
+				continue
+			}
+			rc := obj[j]
+			for i := 0; i < m; i++ {
+				if cb[i] != 0 {
+					rc -= cb[i] * tab[i][j]
+				}
+			}
+			if rc > bestRC {
+				entering = j
+				if useBland {
+					break // Bland: first improving index
+				}
+				bestRC = rc
+			}
+		}
+		if entering == -1 {
+			return StatusOptimal
+		}
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < m; i++ {
+			a := tab[i][entering]
+			if a > pivotTol {
+				ratio := tab[i][rhsCol] / a
+				if ratio < bestRatio-tol ||
+					(ratio < bestRatio+tol && (leave == -1 || basis[i] < basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return StatusUnbounded
+		}
+		if bestRatio < tol {
+			stall++
+		} else {
+			stall = 0
+		}
+		pivot(tab, basis, leave, entering, rhsCol)
+	}
+	return StatusIterLimit
+}
+
+func pivot(tab [][]float64, basis []int, row, col, rhsCol int) {
+	pv := tab[row][col]
+	inv := 1 / pv
+	for j := 0; j <= rhsCol; j++ {
+		tab[row][j] *= inv
+	}
+	tab[row][col] = 1 // exact
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= rhsCol; j++ {
+			tab[i][j] -= f * tab[row][j]
+		}
+		tab[i][col] = 0 // exact
+	}
+	basis[row] = col
+}
+
+func isBasic(basis []int, j int) bool {
+	for _, b := range basis {
+		if b == j {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,249 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustSolve(t *testing.T, p *DenseProblem) *DenseSolution {
+	t.Helper()
+	sol, err := p.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return sol
+}
+
+func TestDenseSimpleMax(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6 -> x=4, y=0, obj=12.
+	p := NewDense(2)
+	if err := p.SetObjective(0, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetObjective(1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Entry{{0, 1}, {1, 1}}, LE, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AddConstraint([]Entry{{0, 1}, {1, 3}}, LE, 6); err != nil {
+		t.Fatal(err)
+	}
+	sol := mustSolve(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", sol.Objective)
+	}
+	if math.Abs(sol.X[0]-4) > 1e-7 || math.Abs(sol.X[1]) > 1e-7 {
+		t.Fatalf("x = %v, want [4 0]", sol.X)
+	}
+}
+
+func TestDenseEqualityAndGE(t *testing.T) {
+	// max x + y s.t. x + y = 10, x >= 3, y <= 4  -> x=6..? y<=4 so y=4, x=6.
+	p := NewDense(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddConstraint([]Entry{{0, 1}, {1, 1}}, EQ, 10)
+	p.AddConstraint([]Entry{{0, 1}}, GE, 3)
+	p.AddConstraint([]Entry{{1, 1}}, LE, 4)
+	sol := mustSolve(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective-10) > 1e-7 {
+		t.Fatalf("objective = %v, want 10", sol.Objective)
+	}
+	if sol.X[0] < 3-1e-7 || sol.X[1] > 4+1e-7 {
+		t.Fatalf("x = %v violates bounds", sol.X)
+	}
+	if math.Abs(sol.X[0]+sol.X[1]-10) > 1e-7 {
+		t.Fatalf("x = %v violates equality", sol.X)
+	}
+}
+
+func TestDenseInfeasible(t *testing.T) {
+	p := NewDense(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Entry{{0, 1}}, LE, 1)
+	p.AddConstraint([]Entry{{0, 1}}, GE, 2)
+	sol := mustSolve(t, p)
+	if sol.Status != StatusInfeasible {
+		t.Fatalf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestDenseUnbounded(t *testing.T) {
+	p := NewDense(2)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Entry{{1, 1}}, LE, 5)
+	sol := mustSolve(t, p)
+	if sol.Status != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestDenseNegativeRHS(t *testing.T) {
+	// x >= 0, -x <= -2 means x >= 2; max -x -> x = 2, obj = -2.
+	p := NewDense(1)
+	p.SetObjective(0, -1)
+	p.AddConstraint([]Entry{{0, -1}}, LE, -2)
+	sol := mustSolve(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	if math.Abs(sol.Objective+2) > 1e-7 {
+		t.Fatalf("objective = %v, want -2", sol.Objective)
+	}
+}
+
+func TestDenseDuplicateEntriesSummed(t *testing.T) {
+	// 2x (as 1x + 1x) <= 4 -> x <= 2.
+	p := NewDense(1)
+	p.SetObjective(0, 1)
+	p.AddConstraint([]Entry{{0, 1}, {0, 1}}, LE, 4)
+	sol := mustSolve(t, p)
+	if math.Abs(sol.Objective-2) > 1e-7 {
+		t.Fatalf("objective = %v, want 2", sol.Objective)
+	}
+}
+
+func TestDenseDegenerate(t *testing.T) {
+	// Classic degenerate LP; must still terminate at the optimum.
+	p := NewDense(3)
+	p.SetObjective(0, 10)
+	p.SetObjective(1, -57)
+	p.SetObjective(2, -9)
+	p.AddConstraint([]Entry{{0, 0.5}, {1, -5.5}, {2, -2.5}}, LE, 0)
+	p.AddConstraint([]Entry{{0, 0.5}, {1, -1.5}, {2, -0.5}}, LE, 0)
+	p.AddConstraint([]Entry{{0, 1}}, LE, 1)
+	sol := mustSolve(t, p)
+	if sol.Status != StatusOptimal {
+		t.Fatalf("status = %v", sol.Status)
+	}
+	// Optimum is x = (1, 0, 1)? Verify objective value by known result: 1.
+	if math.Abs(sol.Objective-1) > 1e-6 {
+		t.Fatalf("objective = %v, want 1", sol.Objective)
+	}
+}
+
+func TestDenseValidation(t *testing.T) {
+	p := NewDense(1)
+	if err := p.SetObjective(2, 1); err == nil {
+		t.Fatal("out-of-range objective index accepted")
+	}
+	if err := p.AddConstraint([]Entry{{5, 1}}, LE, 1); err == nil {
+		t.Fatal("out-of-range constraint index accepted")
+	}
+	if err := p.AddConstraint([]Entry{{0, math.NaN()}}, LE, 1); err == nil {
+		t.Fatal("NaN coefficient accepted")
+	}
+	if err := p.AddConstraint([]Entry{{0, 1}}, Sense(99), 1); err == nil {
+		t.Fatal("invalid sense accepted")
+	}
+	if err := p.AddConstraint([]Entry{{0, 1}}, LE, math.Inf(1)); err == nil {
+		t.Fatal("infinite rhs accepted")
+	}
+}
+
+// bruteForceBox maximizes over a fine grid; used as an oracle for tiny LPs
+// with box-bounded feasible regions.
+func bruteForceBox(obj []float64, feasible func(x []float64) bool, hi float64, steps int) float64 {
+	best := math.Inf(-1)
+	n := len(obj)
+	x := make([]float64, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			if feasible(x) {
+				v := 0.0
+				for j := range x {
+					v += obj[j] * x[j]
+				}
+				if v > best {
+					best = v
+				}
+			}
+			return
+		}
+		for s := 0; s <= steps; s++ {
+			x[i] = hi * float64(s) / float64(steps)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: on random 2-3 variable packing LPs the simplex optimum matches a
+// grid brute force to grid resolution.
+func TestDenseMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(2)
+		p := NewDense(n)
+		obj := make([]float64, n)
+		for j := 0; j < n; j++ {
+			obj[j] = rng.Float64() * 5
+			p.SetObjective(j, obj[j])
+		}
+		type row struct {
+			a   []float64
+			rhs float64
+		}
+		var rows []row
+		m := 1 + rng.Intn(3)
+		for i := 0; i < m; i++ {
+			a := make([]float64, n)
+			es := make([]Entry, n)
+			for j := 0; j < n; j++ {
+				a[j] = rng.Float64() * 2
+				es[j] = Entry{j, a[j]}
+			}
+			rhs := 1 + rng.Float64()*5
+			rows = append(rows, row{a, rhs})
+			p.AddConstraint(es, LE, rhs)
+		}
+		// Box to make brute force finite.
+		for j := 0; j < n; j++ {
+			p.AddConstraint([]Entry{{j, 1}}, LE, 10)
+		}
+		sol := mustSolve(t, p)
+		if sol.Status != StatusOptimal {
+			t.Fatalf("trial %d: status %v", trial, sol.Status)
+		}
+		feasible := func(x []float64) bool {
+			for _, r := range rows {
+				s := 0.0
+				for j := range x {
+					s += r.a[j] * x[j]
+				}
+				if s > r.rhs+1e-9 {
+					return false
+				}
+			}
+			return true
+		}
+		bf := bruteForceBox(obj, feasible, 10, 40)
+		if sol.Objective < bf-0.5 {
+			t.Fatalf("trial %d: simplex %v < brute force %v", trial, sol.Objective, bf)
+		}
+		if sol.Objective > bf+1.5 {
+			// Simplex should not massively exceed a fine grid either;
+			// tolerance accounts for grid resolution.
+			t.Fatalf("trial %d: simplex %v >> brute force %v", trial, sol.Objective, bf)
+		}
+		// Returned point must itself be feasible.
+		if !feasible(sol.X) {
+			t.Fatalf("trial %d: returned point infeasible: %v", trial, sol.X)
+		}
+		for j, v := range sol.X {
+			if v < -1e-9 {
+				t.Fatalf("trial %d: x[%d] = %v < 0", trial, j, v)
+			}
+		}
+	}
+}

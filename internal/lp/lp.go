@@ -1,0 +1,80 @@
+// Package lp implements the linear-programming substrate: a dense two-phase
+// primal simplex for small general models (any mix of ≤/=/≥ rows) and a
+// revised simplex for packing LPs (max cᵀx, Ax ≤ b, x ≥ 0) that supports
+// incremental column addition, which makes it the natural master problem for
+// column generation.
+//
+// The paper's evaluation used PuLP/CBC; this package replaces it with
+// stdlib-only solvers (see DESIGN.md §2 for the substitution argument).
+package lp
+
+import "fmt"
+
+// Status reports the outcome of a solve.
+type Status int
+
+const (
+	// StatusOptimal means an optimal basic feasible solution was found.
+	StatusOptimal Status = iota + 1
+	// StatusInfeasible means no feasible point exists.
+	StatusInfeasible
+	// StatusUnbounded means the objective is unbounded above.
+	StatusUnbounded
+	// StatusIterLimit means the iteration cap was hit before convergence.
+	StatusIterLimit
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("status(%d)", int(s))
+	}
+}
+
+// Sense is a constraint direction.
+type Sense int
+
+const (
+	// LE is ≤.
+	LE Sense = iota + 1
+	// GE is ≥.
+	GE
+	// EQ is =.
+	EQ
+)
+
+// String implements fmt.Stringer.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("sense(%d)", int(s))
+	}
+}
+
+// Entry is one nonzero coefficient of a sparse column or row.
+type Entry struct {
+	Index int // row index in a column, or variable index in a row
+	Value float64
+}
+
+const (
+	// tol is the general feasibility/optimality tolerance.
+	tol = 1e-9
+	// pivotTol rejects pivots that would divide by a tiny element.
+	pivotTol = 1e-10
+)

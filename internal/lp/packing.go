@@ -1,0 +1,409 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PackingSolver is a revised primal simplex specialized to packing LPs:
+//
+//	maximize cᵀx  subject to  Ax ≤ b,  x ≥ 0,  b ≥ 0.
+//
+// All rows are ≤ with non-negative right-hand sides, so the all-slack basis
+// is feasible and no phase 1 is needed. Columns are sparse and can be added
+// between solves, which makes the type the master problem of the
+// column-generation loop in internal/flow: Solve, read Duals, price new
+// columns, AddColumn, Solve again (warm-started from the current basis).
+type PackingSolver struct {
+	m   int
+	b   []float64
+	col []packedColumn
+
+	// Basis state. basis[i] identifies the basic variable of row i:
+	// values ≥ 0 are structural column indices, values < 0 encode slack
+	// −(row+1).
+	basis   []int
+	inBasis []bool // per structural column
+	binv    [][]float64
+	xb      []float64
+	solved  bool
+
+	// MaxIter caps pivots per Solve call; 0 means automatic.
+	MaxIter int
+	// pivots counts total pivots across Solve calls (refactorization
+	// schedule and tests).
+	pivots int
+}
+
+type packedColumn struct {
+	obj     float64
+	entries []Entry
+}
+
+// NewPacking creates a solver with the given row capacities. All entries of
+// b must be finite and ≥ 0.
+func NewPacking(b []float64) (*PackingSolver, error) {
+	for i, v := range b {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, fmt.Errorf("lp: packing rhs[%d] = %v must be finite and >= 0", i, v)
+		}
+	}
+	s := &PackingSolver{
+		m: len(b),
+		b: append([]float64(nil), b...),
+	}
+	s.resetBasis()
+	return s, nil
+}
+
+func (s *PackingSolver) resetBasis() {
+	s.basis = make([]int, s.m)
+	s.binv = make([][]float64, s.m)
+	s.xb = append([]float64(nil), s.b...)
+	for i := 0; i < s.m; i++ {
+		s.basis[i] = -(i + 1)
+		s.binv[i] = make([]float64, s.m)
+		s.binv[i][i] = 1
+	}
+	s.inBasis = make([]bool, len(s.col))
+	s.solved = false
+}
+
+// NumRows returns the number of rows.
+func (s *PackingSolver) NumRows() int { return s.m }
+
+// NumCols returns the number of structural columns.
+func (s *PackingSolver) NumCols() int { return len(s.col) }
+
+// AddColumn appends a sparse column with the given objective coefficient
+// and returns its index. Entries must reference valid rows; duplicate rows
+// are summed. Adding a column never invalidates the current basis.
+func (s *PackingSolver) AddColumn(obj float64, entries []Entry) (int, error) {
+	if math.IsNaN(obj) || math.IsInf(obj, 0) {
+		return 0, errors.New("lp: non-finite objective coefficient")
+	}
+	merged := make(map[int]float64, len(entries))
+	for _, e := range entries {
+		if e.Index < 0 || e.Index >= s.m {
+			return 0, fmt.Errorf("lp: column entry row %d out of range [0,%d)", e.Index, s.m)
+		}
+		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
+			return 0, fmt.Errorf("lp: non-finite coefficient in row %d", e.Index)
+		}
+		merged[e.Index] += e.Value
+	}
+	es := make([]Entry, 0, len(merged))
+	for r, v := range merged {
+		if v != 0 {
+			es = append(es, Entry{Index: r, Value: v})
+		}
+	}
+	sort.Slice(es, func(i, j int) bool { return es[i].Index < es[j].Index })
+	s.col = append(s.col, packedColumn{obj: obj, entries: es})
+	s.inBasis = append(s.inBasis, false)
+	return len(s.col) - 1, nil
+}
+
+// Duals returns the dual variable of each row from the last optimal solve.
+// For packing LPs the duals are ≥ 0 (up to tolerance).
+func (s *PackingSolver) Duals() []float64 {
+	y := make([]float64, s.m)
+	for i := 0; i < s.m; i++ {
+		cb := s.objOf(s.basis[i])
+		if cb == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for j := 0; j < s.m; j++ {
+			y[j] += cb * row[j]
+		}
+	}
+	for j := range y {
+		if y[j] < 0 && y[j] > -1e-7 {
+			y[j] = 0
+		}
+	}
+	return y
+}
+
+// Objective returns the current objective value.
+func (s *PackingSolver) Objective() float64 {
+	var v float64
+	for i, bi := range s.basis {
+		v += s.objOf(bi) * s.xb[i]
+	}
+	return v
+}
+
+// Primal returns the value of structural column j in the current basic
+// solution.
+func (s *PackingSolver) Primal(j int) float64 {
+	if j < 0 || j >= len(s.col) || !s.inBasis[j] {
+		return 0
+	}
+	for i, bi := range s.basis {
+		if bi == j {
+			return s.xb[i]
+		}
+	}
+	return 0
+}
+
+// Primals returns all structural values as a slice.
+func (s *PackingSolver) Primals() []float64 {
+	x := make([]float64, len(s.col))
+	for i, bi := range s.basis {
+		if bi >= 0 {
+			x[bi] = s.xb[i]
+		}
+	}
+	return x
+}
+
+// ReducedCost computes c_j − yᵀA_j for a hypothetical column without adding
+// it; y must come from Duals().
+func ReducedCost(obj float64, entries []Entry, y []float64) float64 {
+	rc := obj
+	for _, e := range entries {
+		rc -= y[e.Index] * e.Value
+	}
+	return rc
+}
+
+func (s *PackingSolver) objOf(basisID int) float64 {
+	if basisID >= 0 {
+		return s.col[basisID].obj
+	}
+	return 0 // slack
+}
+
+// columnInto writes B⁻¹·A_j for basis entry id into out.
+func (s *PackingSolver) columnInto(basisID int, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	if basisID >= 0 {
+		for _, e := range s.col[basisID].entries {
+			v := e.Value
+			if v == 0 {
+				continue
+			}
+			for i := 0; i < s.m; i++ {
+				out[i] += s.binv[i][e.Index] * v
+			}
+		}
+		return
+	}
+	r := -basisID - 1
+	for i := 0; i < s.m; i++ {
+		out[i] = s.binv[i][r]
+	}
+}
+
+// Solve optimizes from the current basis and returns the status. After
+// StatusOptimal, Duals/Primal/Objective describe the optimum. The packing
+// form cannot be infeasible, and with finite b it cannot be unbounded unless
+// a column has no positive entries and positive objective.
+func (s *PackingSolver) Solve() (Status, error) {
+	maxIter := s.MaxIter
+	if maxIter <= 0 {
+		maxIter = 500*(s.m+1) + 50*len(s.col)
+		if maxIter < 20000 {
+			maxIter = 20000
+		}
+	}
+	dir := make([]float64, s.m)
+	stall := 0
+	for iter := 0; iter < maxIter; iter++ {
+		y := s.Duals()
+		useBland := stall > 2*s.m+100
+		entering := -1
+		best := tol
+		for j, c := range s.col {
+			if s.inBasis[j] {
+				continue
+			}
+			rc := c.obj
+			for _, e := range c.entries {
+				rc -= y[e.Index] * e.Value
+			}
+			if rc > best {
+				entering = j
+				if useBland {
+					break
+				}
+				best = rc
+			}
+		}
+		if entering == -1 {
+			// Also consider slack re-entry (possible when duals go
+			// negative due to degeneracy); slack j has rc = −y_j.
+			for r := 0; r < s.m; r++ {
+				if s.slackBasic(r) {
+					continue
+				}
+				if -y[r] > best {
+					entering = -(r + 1)
+					if useBland {
+						break
+					}
+					best = -y[r]
+				}
+			}
+		}
+		if entering == -1 && best <= tol {
+			s.solved = true
+			return StatusOptimal, nil
+		}
+
+		s.columnInto(entering, dir)
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < s.m; i++ {
+			if dir[i] > pivotTol {
+				ratio := s.xb[i] / dir[i]
+				if ratio < bestRatio-tol ||
+					(ratio < bestRatio+tol && (leave == -1 || s.basis[i] < s.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave == -1 {
+			return StatusUnbounded, nil
+		}
+		if bestRatio < tol {
+			stall++
+		} else {
+			stall = 0
+		}
+		s.pivot(leave, entering, dir, bestRatio)
+	}
+	return StatusIterLimit, nil
+}
+
+func (s *PackingSolver) slackBasic(row int) bool {
+	want := -(row + 1)
+	for _, b := range s.basis {
+		if b == want {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta float64) {
+	old := s.basis[leave]
+	if old >= 0 {
+		s.inBasis[old] = false
+	}
+	if entering >= 0 {
+		s.inBasis[entering] = true
+	}
+	s.basis[leave] = entering
+
+	// Update basic solution.
+	for i := range s.xb {
+		if i == leave {
+			continue
+		}
+		s.xb[i] -= theta * dir[i]
+		if s.xb[i] < 0 && s.xb[i] > -1e-9 {
+			s.xb[i] = 0
+		}
+	}
+	s.xb[leave] = theta
+
+	// Elementary row transformation of B⁻¹.
+	pr := s.binv[leave]
+	inv := 1 / dir[leave]
+	for j := range pr {
+		pr[j] *= inv
+	}
+	for i := range s.binv {
+		if i == leave {
+			continue
+		}
+		f := dir[i]
+		if f == 0 {
+			continue
+		}
+		row := s.binv[i]
+		for j := range row {
+			row[j] -= f * pr[j]
+		}
+	}
+	s.pivots++
+	if s.pivots%2000 == 0 {
+		s.refactorize()
+	}
+}
+
+// refactorize rebuilds B⁻¹ and x_B from the basis definition to wash out
+// accumulated floating-point drift. It is O(m³).
+func (s *PackingSolver) refactorize() {
+	m := s.m
+	// Build B augmented with identity, Gauss-Jordan to invert.
+	bmat := make([][]float64, m)
+	for i := 0; i < m; i++ {
+		bmat[i] = make([]float64, 2*m)
+		bmat[i][m+i] = 1
+	}
+	for k, id := range s.basis {
+		if id >= 0 {
+			for _, e := range s.col[id].entries {
+				bmat[e.Index][k] = e.Value
+			}
+		} else {
+			bmat[-id-1][k] = 1
+		}
+	}
+	for c := 0; c < m; c++ {
+		// Partial pivoting.
+		p := c
+		for r := c + 1; r < m; r++ {
+			if math.Abs(bmat[r][c]) > math.Abs(bmat[p][c]) {
+				p = r
+			}
+		}
+		if math.Abs(bmat[p][c]) < 1e-12 {
+			// Numerically singular basis; fall back to a fresh slack
+			// basis (correct, loses warm start).
+			s.resetBasis()
+			return
+		}
+		bmat[c], bmat[p] = bmat[p], bmat[c]
+		inv := 1 / bmat[c][c]
+		for j := c; j < 2*m; j++ {
+			bmat[c][j] *= inv
+		}
+		for r := 0; r < m; r++ {
+			if r == c {
+				continue
+			}
+			f := bmat[r][c]
+			if f == 0 {
+				continue
+			}
+			for j := c; j < 2*m; j++ {
+				bmat[r][j] -= f * bmat[c][j]
+			}
+		}
+	}
+	for i := 0; i < m; i++ {
+		copy(s.binv[i], bmat[i][m:])
+	}
+	// x_B = B⁻¹ b.
+	for i := 0; i < m; i++ {
+		var v float64
+		for j := 0; j < m; j++ {
+			v += s.binv[i][j] * s.b[j]
+		}
+		if v < 0 && v > -1e-7 {
+			v = 0
+		}
+		s.xb[i] = v
+	}
+}

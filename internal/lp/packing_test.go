@@ -1,0 +1,261 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPackingSimple(t *testing.T) {
+	// max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+	s, err := NewPacking([]float64{4, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddColumn(3, []Entry{{0, 1}, {1, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.AddColumn(2, []Entry{{0, 1}, {1, 3}}); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.Solve()
+	if err != nil || st != StatusOptimal {
+		t.Fatalf("Solve: %v %v", st, err)
+	}
+	if math.Abs(s.Objective()-12) > 1e-7 {
+		t.Fatalf("objective = %v, want 12", s.Objective())
+	}
+	if math.Abs(s.Primal(0)-4) > 1e-7 || math.Abs(s.Primal(1)) > 1e-7 {
+		t.Fatalf("primal = %v,%v want 4,0", s.Primal(0), s.Primal(1))
+	}
+}
+
+func TestPackingRejectsBadInput(t *testing.T) {
+	if _, err := NewPacking([]float64{-1}); err == nil {
+		t.Fatal("negative rhs accepted")
+	}
+	if _, err := NewPacking([]float64{math.NaN()}); err == nil {
+		t.Fatal("NaN rhs accepted")
+	}
+	s, _ := NewPacking([]float64{1})
+	if _, err := s.AddColumn(1, []Entry{{5, 1}}); err == nil {
+		t.Fatal("out-of-range row accepted")
+	}
+	if _, err := s.AddColumn(math.Inf(1), nil); err == nil {
+		t.Fatal("infinite objective accepted")
+	}
+	if _, err := s.AddColumn(1, []Entry{{0, math.NaN()}}); err == nil {
+		t.Fatal("NaN coefficient accepted")
+	}
+}
+
+func TestPackingUnbounded(t *testing.T) {
+	s, _ := NewPacking([]float64{5})
+	// Column with no positive entries and positive objective is unbounded.
+	s.AddColumn(1, nil)
+	st, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st != StatusUnbounded {
+		t.Fatalf("status = %v, want unbounded", st)
+	}
+}
+
+func TestPackingZeroRHS(t *testing.T) {
+	// Degenerate at zero: optimum is 0, no pivoting storm.
+	s, _ := NewPacking([]float64{0, 0})
+	s.AddColumn(5, []Entry{{0, 1}})
+	s.AddColumn(3, []Entry{{1, 2}})
+	st, err := s.Solve()
+	if err != nil || st != StatusOptimal {
+		t.Fatalf("Solve: %v %v", st, err)
+	}
+	if s.Objective() != 0 {
+		t.Fatalf("objective = %v, want 0", s.Objective())
+	}
+}
+
+func TestPackingIncrementalColumns(t *testing.T) {
+	// Solve, add a better column, re-solve warm.
+	s, _ := NewPacking([]float64{10})
+	s.AddColumn(1, []Entry{{0, 1}})
+	if st, _ := s.Solve(); st != StatusOptimal {
+		t.Fatal("first solve failed")
+	}
+	if math.Abs(s.Objective()-10) > 1e-7 {
+		t.Fatalf("objective = %v, want 10", s.Objective())
+	}
+	j, _ := s.AddColumn(3, []Entry{{0, 1}})
+	if st, _ := s.Solve(); st != StatusOptimal {
+		t.Fatal("second solve failed")
+	}
+	if math.Abs(s.Objective()-30) > 1e-7 {
+		t.Fatalf("objective = %v, want 30 after adding better column", s.Objective())
+	}
+	if math.Abs(s.Primal(j)-10) > 1e-7 {
+		t.Fatalf("new column value = %v, want 10", s.Primal(j))
+	}
+}
+
+func TestPackingDuplicateRowEntriesMerged(t *testing.T) {
+	s, _ := NewPacking([]float64{4})
+	s.AddColumn(1, []Entry{{0, 1}, {0, 1}}) // effectively 2x <= 4
+	if st, _ := s.Solve(); st != StatusOptimal {
+		t.Fatal("solve failed")
+	}
+	if math.Abs(s.Objective()-2) > 1e-7 {
+		t.Fatalf("objective = %v, want 2", s.Objective())
+	}
+}
+
+func TestPackingDuals(t *testing.T) {
+	// max 3x+2y, x+y<=4, x+3y<=6. Optimal basis x, slack2: dual = (3, 0).
+	s, _ := NewPacking([]float64{4, 6})
+	s.AddColumn(3, []Entry{{0, 1}, {1, 1}})
+	s.AddColumn(2, []Entry{{0, 1}, {1, 3}})
+	if st, _ := s.Solve(); st != StatusOptimal {
+		t.Fatal("solve failed")
+	}
+	y := s.Duals()
+	if math.Abs(y[0]-3) > 1e-7 || math.Abs(y[1]) > 1e-7 {
+		t.Fatalf("duals = %v, want [3 0]", y)
+	}
+	// Strong duality: yᵀb == objective.
+	if math.Abs(y[0]*4+y[1]*6-s.Objective()) > 1e-7 {
+		t.Fatal("strong duality violated")
+	}
+}
+
+func TestReducedCost(t *testing.T) {
+	y := []float64{2, 1}
+	rc := ReducedCost(5, []Entry{{0, 1}, {1, 2}}, y)
+	if math.Abs(rc-1) > 1e-12 {
+		t.Fatalf("ReducedCost = %v, want 1", rc)
+	}
+}
+
+// randomPacking builds identical random packing LPs in both solvers.
+func randomPacking(rng *rand.Rand, m, n int) (*PackingSolver, *DenseProblem, []float64, [][]float64) {
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = 1 + rng.Float64()*9
+	}
+	ps, _ := NewPacking(b)
+	dp := NewDense(n)
+	rows := make([][]float64, m)
+	for i := range rows {
+		rows[i] = make([]float64, n)
+	}
+	for j := 0; j < n; j++ {
+		obj := rng.Float64() * 4
+		dp.SetObjective(j, obj)
+		var entries []Entry
+		nnz := 1 + rng.Intn(m)
+		for k := 0; k < nnz; k++ {
+			r := rng.Intn(m)
+			v := 0.1 + rng.Float64()*2
+			entries = append(entries, Entry{r, v})
+			rows[r][j] += v
+		}
+		ps.AddColumn(obj, entries)
+	}
+	for i := 0; i < m; i++ {
+		es := make([]Entry, 0, n)
+		for j := 0; j < n; j++ {
+			if rows[i][j] != 0 {
+				es = append(es, Entry{j, rows[i][j]})
+			}
+		}
+		dp.AddConstraint(es, LE, b[i])
+	}
+	return ps, dp, b, rows
+}
+
+// Property: the packing solver and the dense two-phase solver agree on
+// random packing LPs, the solution is feasible, and strong duality holds.
+func TestPackingMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		m := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(12)
+		ps, dp, b, rows := randomPacking(rng, m, n)
+		st, err := ps.Solve()
+		if err != nil || st != StatusOptimal {
+			t.Fatalf("trial %d: packing solve %v %v", trial, st, err)
+		}
+		dsol, err := dp.Solve()
+		if err != nil || dsol.Status != StatusOptimal {
+			t.Fatalf("trial %d: dense solve failed", trial)
+		}
+		if math.Abs(ps.Objective()-dsol.Objective) > 1e-6*(1+math.Abs(dsol.Objective)) {
+			t.Fatalf("trial %d: packing %v != dense %v", trial, ps.Objective(), dsol.Objective)
+		}
+		// Primal feasibility.
+		x := ps.Primals()
+		for i := 0; i < m; i++ {
+			var lhs float64
+			for j := 0; j < n; j++ {
+				lhs += rows[i][j] * x[j]
+			}
+			if lhs > b[i]+1e-6 {
+				t.Fatalf("trial %d: row %d violated: %v > %v", trial, i, lhs, b[i])
+			}
+		}
+		for j, v := range x {
+			if v < -1e-8 {
+				t.Fatalf("trial %d: x[%d] = %v < 0", trial, j, v)
+			}
+		}
+		// Strong duality and dual feasibility.
+		y := ps.Duals()
+		var yb float64
+		for i := range y {
+			if y[i] < -1e-7 {
+				t.Fatalf("trial %d: dual %d negative: %v", trial, i, y[i])
+			}
+			yb += y[i] * b[i]
+		}
+		if math.Abs(yb-ps.Objective()) > 1e-5*(1+math.Abs(yb)) {
+			t.Fatalf("trial %d: strong duality gap: yb=%v obj=%v", trial, yb, ps.Objective())
+		}
+	}
+}
+
+// Property: after optimality every column's reduced cost is <= tolerance.
+func TestPackingOptimalityCondition(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(6)
+		n := 2 + rng.Intn(10)
+		ps, _, _, _ := randomPacking(rng, m, n)
+		if st, _ := ps.Solve(); st != StatusOptimal {
+			t.Fatalf("trial %d: not optimal", trial)
+		}
+		y := ps.Duals()
+		for j := 0; j < ps.NumCols(); j++ {
+			rc := ps.col[j].obj
+			for _, e := range ps.col[j].entries {
+				rc -= y[e.Index] * e.Value
+			}
+			if rc > 1e-6 {
+				t.Fatalf("trial %d: column %d has positive reduced cost %v at optimum", trial, j, rc)
+			}
+		}
+	}
+}
+
+func TestPackingRefactorizeStability(t *testing.T) {
+	// Force many pivots by solving a sequence of growing problems and
+	// verify the solution stays consistent with a fresh dense solve.
+	rng := rand.New(rand.NewSource(13))
+	ps, dp, _, _ := randomPacking(rng, 6, 40)
+	ps.pivots = 1999 // trigger refactorization on the first pivot
+	if st, _ := ps.Solve(); st != StatusOptimal {
+		t.Fatal("not optimal")
+	}
+	dsol, _ := dp.Solve()
+	if math.Abs(ps.Objective()-dsol.Objective) > 1e-6*(1+math.Abs(dsol.Objective)) {
+		t.Fatalf("after refactorization: %v != %v", ps.Objective(), dsol.Objective)
+	}
+}

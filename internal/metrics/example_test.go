@@ -1,0 +1,30 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"see/internal/metrics"
+)
+
+// Summaries power every throughput table in the evaluation.
+func ExampleSummarize() {
+	s := metrics.Summarize([]float64{18, 20, 22, 24})
+	fmt.Printf("mean=%.0f n=%d\n", s.Mean, s.N)
+	// Output: mean=21 n=4
+}
+
+// The empirical CDF reproduces the paper's per-SD-pair subplots.
+func ExampleNewCDF() {
+	cdf := metrics.NewCDF([]float64{0, 1, 1, 2})
+	fmt.Printf("P(x<=0)=%.2f P(x<=1)=%.2f P(x<=2)=%.2f\n",
+		cdf.At(0), cdf.At(1), cdf.At(2))
+	// Output: P(x<=0)=0.25 P(x<=1)=0.75 P(x<=2)=1.00
+}
+
+// Jain's index quantifies the fairness goal of ESC's round-robin ordering.
+func ExampleJainIndex() {
+	fmt.Printf("equal=%.2f skewed=%.2f\n",
+		metrics.JainIndex([]float64{2, 2, 2, 2}),
+		metrics.JainIndex([]float64{8, 0, 0, 0}))
+	// Output: equal=1.00 skewed=0.25
+}

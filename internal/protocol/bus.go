@@ -1,0 +1,89 @@
+package protocol
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Envelope is a routed message.
+type Envelope struct {
+	From, To NodeID
+	Msg      Message
+}
+
+// Bus is a deterministic in-memory message fabric: messages are queued per
+// destination and delivered in FIFO order, destinations drained in
+// ascending ID order. Handlers may send further messages while handling.
+type Bus struct {
+	queues  map[NodeID][]Envelope
+	handler map[NodeID]func(Envelope)
+	// Trace, when non-nil, receives every delivered envelope (examples and
+	// tests use it to show the protocol).
+	Trace func(Envelope)
+	// delivered counts total deliveries (loop guard).
+	delivered int
+	// MaxDeliveries guards against protocol loops; 0 means 1e6.
+	MaxDeliveries int
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus {
+	return &Bus{
+		queues:  make(map[NodeID][]Envelope),
+		handler: make(map[NodeID]func(Envelope)),
+	}
+}
+
+// Register installs the handler for a destination. Registering twice
+// replaces the handler.
+func (b *Bus) Register(id NodeID, h func(Envelope)) {
+	b.handler[id] = h
+}
+
+// Send enqueues a message.
+func (b *Bus) Send(from, to NodeID, msg Message) {
+	b.queues[to] = append(b.queues[to], Envelope{From: from, To: to, Msg: msg})
+}
+
+// Drain delivers messages until every queue is empty. It returns an error
+// if a message targets an unregistered destination or the delivery guard
+// trips.
+func (b *Bus) Drain() error {
+	limit := b.MaxDeliveries
+	if limit <= 0 {
+		limit = 1_000_000
+	}
+	for {
+		ids := make([]NodeID, 0, len(b.queues))
+		for id, q := range b.queues {
+			if len(q) > 0 {
+				ids = append(ids, id)
+			}
+		}
+		if len(ids) == 0 {
+			return nil
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			q := b.queues[id]
+			b.queues[id] = nil
+			h, ok := b.handler[id]
+			if !ok {
+				return fmt.Errorf("protocol: message for unregistered node %d: %v", id, q[0].Msg)
+			}
+			for _, env := range q {
+				b.delivered++
+				if b.delivered > limit {
+					return fmt.Errorf("protocol: delivery guard tripped after %d messages", b.delivered)
+				}
+				if b.Trace != nil {
+					b.Trace(env)
+				}
+				h(env)
+			}
+		}
+	}
+}
+
+// Delivered returns the number of messages delivered so far.
+func (b *Bus) Delivered() int { return b.delivered }

@@ -1,0 +1,340 @@
+package protocol
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"see/internal/core"
+	"see/internal/graph"
+	"see/internal/segment"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// Controller is the central agent of §II-F. It plans a slot with the core
+// engine, drives the nodes through the four protocol steps over the bus
+// and tallies the outcome.
+type Controller struct {
+	engine *core.Engine
+	bus    *Bus
+	nodes  []*Node
+
+	// per-slot state
+	attempts   map[int]*segment.Candidate // attempt ID -> candidate
+	realized   map[segment.PairKey][]int  // unconsumed realized attempts
+	reports    int
+	swapState  map[int]*connState
+	teleported map[int]float64
+	nextConn   int
+}
+
+type connState struct {
+	path     core.PlannedPath
+	attempts []int // one realized attempt per hop
+	pending  int   // junction swaps not yet reported
+	failed   bool
+}
+
+// SlotOutcome summarizes one protocol-driven slot.
+type SlotOutcome struct {
+	AttemptsOrdered  int
+	SegmentsRealized int
+	Established      int
+	PerPair          []int
+	TeleportAcks     int
+	Messages         int
+}
+
+// Session owns the agents for a sequence of protocol slots.
+type Session struct {
+	Net        *topo.Network
+	Pairs      []topo.SDPair
+	Engine     *core.Engine
+	Bus        *Bus
+	Nodes      []*Node
+	Controller *Controller
+}
+
+// NewSession wires a controller and one agent per node onto a fresh bus.
+func NewSession(net *topo.Network, pairs []topo.SDPair, opts core.Options, rng *rand.Rand) (*Session, error) {
+	engine, err := core.NewEngine(net, pairs, opts)
+	if err != nil {
+		return nil, fmt.Errorf("protocol: %w", err)
+	}
+	bus := NewBus()
+	nodes := make([]*Node, net.NumNodes())
+	for id := 0; id < net.NumNodes(); id++ {
+		nodes[id] = NewNode(NodeID(id), net, bus, xrand.Split(rng))
+	}
+	c := &Controller{engine: engine, bus: bus, nodes: nodes}
+	bus.Register(ControllerID, c.handle)
+	return &Session{
+		Net:        net,
+		Pairs:      pairs,
+		Engine:     engine,
+		Bus:        bus,
+		Nodes:      nodes,
+		Controller: c,
+	}, nil
+}
+
+// RunSlot executes one full protocol slot.
+func (s *Session) RunSlot(rng *rand.Rand) (*SlotOutcome, error) {
+	return s.Controller.runSlot(rng)
+}
+
+func (c *Controller) runSlot(rng *rand.Rand) (*SlotOutcome, error) {
+	// Reset per-slot state; node photons from the previous slot have
+	// decohered and their memory is free again.
+	for _, n := range c.nodes {
+		n.ResetSlot()
+	}
+	c.attempts = make(map[int]*segment.Candidate)
+	c.realized = make(map[segment.PairKey][]int)
+	c.swapState = make(map[int]*connState)
+	c.teleported = make(map[int]float64)
+	c.reports = 0
+
+	plan, err := c.engine.PlanSlot(rng)
+	if err != nil {
+		return nil, err
+	}
+	out := &SlotOutcome{PerPair: make([]int, len(c.engine.Pairs))}
+
+	// Step i/ii: order every creation attempt.
+	cands := make([]*segment.Candidate, 0, len(plan.Attempts))
+	for cand := range plan.Attempts {
+		cands = append(cands, cand)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		return topo.Key(cands[i].Path) < topo.Key(cands[j].Path)
+	})
+	nextAttempt := 0
+	for _, cand := range cands {
+		for k := 0; k < plan.Attempts[cand]; k++ {
+			id := nextAttempt
+			nextAttempt++
+			c.attempts[id] = cand
+			c.bus.Send(ControllerID, NodeID(cand.Path[0]), ReserveOrder{
+				AttemptID: id,
+				Route:     cand.Path,
+				Prob:      cand.Prob,
+			})
+		}
+	}
+	out.AttemptsOrdered = nextAttempt
+	if err := c.bus.Drain(); err != nil {
+		return nil, err
+	}
+	out.SegmentsRealized = c.reports
+
+	// Step iii: assign realized segments to provisioned paths, order swaps,
+	// and keep retrying failed connections from spares until exhaustion.
+	perPair := make([]int, len(c.engine.Pairs))
+	for {
+		progress := false
+		for _, p := range plan.Provisioned {
+			if perPair[p.Commodity] >= c.engine.ConnCap[p.Commodity] {
+				continue
+			}
+			ids, ok := c.takeAttempts(p)
+			if !ok {
+				continue
+			}
+			progress = true
+			connID := c.nextConn
+			c.nextConn++
+			st := &connState{path: p, attempts: ids}
+			c.swapState[connID] = st
+			for j := 1; j+1 < len(p.Nodes); j++ {
+				st.pending++
+				c.bus.Send(ControllerID, NodeID(p.Nodes[j]), SwapOrder{
+					ConnectionID:  connID,
+					LeftAttempt:   ids[j-1],
+					RightAttempt:  ids[j],
+					JunctionIndex: j,
+				})
+			}
+			if err := c.bus.Drain(); err != nil {
+				return nil, err
+			}
+			if !st.failed {
+				// Step iv: teleport one data qubit over the connection.
+				src := p.Nodes[0]
+				dst := p.Nodes[len(p.Nodes)-1]
+				c.bus.Send(ControllerID, NodeID(src), TeleportOrder{
+					ConnectionID:  connID,
+					Destination:   NodeID(dst),
+					SourceAttempt: ids[0],
+					DestAttempt:   ids[len(ids)-1],
+				})
+				if err := c.bus.Drain(); err != nil {
+					return nil, err
+				}
+				if _, acked := c.teleported[connID]; !acked {
+					return nil, fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+				}
+				perPair[p.Commodity]++
+				out.Established++
+				out.PerPair[p.Commodity]++
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Phase B of ECE over the control plane: stitch leftover realized
+	// segments into extra connections via shortest path on the
+	// availability graph (node weight −ln q).
+	if err := c.phaseB(perPair, out); err != nil {
+		return nil, err
+	}
+
+	out.TeleportAcks = len(c.teleported)
+	out.Messages = c.bus.Delivered()
+
+	for _, n := range c.nodes {
+		if n.Err != nil {
+			return nil, n.Err
+		}
+	}
+	return out, nil
+}
+
+// phaseB builds extra connections from leftover realized segments, exactly
+// like ECE's auxiliary-graph loop, but executing swaps and teleports via
+// node messages.
+func (c *Controller) phaseB(perPair []int, out *SlotOutcome) error {
+	for {
+		aux := graph.New(c.engine.Net.NumNodes())
+		var auxPairs []segment.PairKey
+		for pk, stock := range c.realized {
+			if len(stock) > 0 {
+				aux.AddEdge(pk.U, pk.V, 1)
+				auxPairs = append(auxPairs, pk)
+			}
+		}
+		if len(auxPairs) == 0 {
+			return nil
+		}
+		nodeWeight := func(u int) float64 {
+			q := c.engine.Net.SwapProb[u]
+			if q <= 0 {
+				return 1e9
+			}
+			return -math.Log(q)
+		}
+		progress := false
+		for i, sd := range c.engine.Pairs {
+			if perPair[i] >= c.engine.ConnCap[i] {
+				continue
+			}
+			// The availability graph is rebuilt each round, so every edge
+			// present has stock.
+			path, dist := graph.ShortestPath(aux, sd.S, sd.D, graph.DijkstraOptions{
+				NodeWeight: nodeWeight,
+			})
+			if path == nil || dist >= 1e8 {
+				continue
+			}
+			// Check and pop one attempt per hop.
+			ok := true
+			for h := 0; h+1 < len(path); h++ {
+				if len(c.realized[segment.MakePairKey(path[h], path[h+1])]) == 0 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			ids := make([]int, 0, len(path)-1)
+			for h := 0; h+1 < len(path); h++ {
+				pk := segment.MakePairKey(path[h], path[h+1])
+				ids = append(ids, c.realized[pk][0])
+				c.realized[pk] = c.realized[pk][1:]
+			}
+			progress = true
+			connID := c.nextConn
+			c.nextConn++
+			st := &connState{attempts: ids}
+			c.swapState[connID] = st
+			for j := 1; j+1 < len(path); j++ {
+				st.pending++
+				c.bus.Send(ControllerID, NodeID(path[j]), SwapOrder{
+					ConnectionID:  connID,
+					LeftAttempt:   ids[j-1],
+					RightAttempt:  ids[j],
+					JunctionIndex: j,
+				})
+			}
+			if err := c.bus.Drain(); err != nil {
+				return err
+			}
+			if st.failed {
+				continue
+			}
+			c.bus.Send(ControllerID, NodeID(path[0]), TeleportOrder{
+				ConnectionID:  connID,
+				Destination:   NodeID(path[len(path)-1]),
+				SourceAttempt: ids[0],
+				DestAttempt:   ids[len(ids)-1],
+			})
+			if err := c.bus.Drain(); err != nil {
+				return err
+			}
+			if _, acked := c.teleported[connID]; !acked {
+				return fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+			}
+			perPair[i]++
+			out.Established++
+			out.PerPair[i]++
+		}
+		if !progress {
+			return nil
+		}
+	}
+}
+
+// takeAttempts pops one realized attempt per hop of the path, or returns
+// false (restoring nothing — pops only happen when all hops have stock).
+func (c *Controller) takeAttempts(p core.PlannedPath) ([]int, bool) {
+	for _, hop := range p.Hops {
+		if len(c.realized[hop.Pair]) == 0 {
+			return nil, false
+		}
+	}
+	ids := make([]int, 0, len(p.Hops))
+	for _, hop := range p.Hops {
+		stock := c.realized[hop.Pair]
+		ids = append(ids, stock[0])
+		c.realized[hop.Pair] = stock[1:]
+	}
+	return ids, true
+}
+
+func (c *Controller) handle(env Envelope) {
+	switch m := env.Msg.(type) {
+	case CreationReport:
+		if m.Success {
+			cand := c.attempts[m.AttemptID]
+			pk := segment.MakePairKey(cand.Path[0], cand.Path[len(cand.Path)-1])
+			c.realized[pk] = append(c.realized[pk], m.AttemptID)
+			c.reports++
+		}
+	case SwapReport:
+		st := c.swapState[m.ConnectionID]
+		if st == nil {
+			return
+		}
+		st.pending--
+		if !m.Success {
+			st.failed = true
+		}
+	case TeleportAck:
+		c.teleported[m.ConnectionID] = m.Fidelity
+	}
+}

@@ -1,0 +1,178 @@
+// Package protocol simulates the control plane of §II-F: a central
+// controller and per-node agents exchanging typed messages over an
+// in-memory, deterministic bus to execute one SEE time slot —
+//
+//	i.   the controller computes the slot plan (EPI + ESC via the core
+//	     engine) and orders nodes to reserve memory, set up all-optical
+//	     circuits and fire entanglement-segment creation attempts;
+//	ii.  nodes perform the attempts and report which segments realized;
+//	iii. the controller assigns realized segments to entanglement paths and
+//	     orders junction nodes to swap; nodes report swap outcomes and the
+//	     controller retries junctions from spare segments;
+//	iv.  sources teleport one data qubit per established connection and
+//	     destinations acknowledge with the received state.
+//
+// The package demonstrates the distributed execution of the scheduler's
+// decisions; throughput experiments use the core engine directly.
+package protocol
+
+import (
+	"fmt"
+
+	"see/internal/graph"
+	"see/internal/qnet"
+)
+
+// NodeID identifies a quantum node; ControllerID addresses the controller.
+type NodeID int
+
+// ControllerID is the bus address of the central controller.
+const ControllerID NodeID = -1
+
+// Message is the sum type carried by the bus.
+type Message interface {
+	message()
+	// String is used in traces.
+	fmt.Stringer
+}
+
+// ReserveOrder tells a segment's source endpoint to reserve one unit of
+// memory, configure the all-optical circuit along Route, generate a Bell
+// pair and send one photon to the far endpoint.
+type ReserveOrder struct {
+	// AttemptID identifies the creation attempt.
+	AttemptID int
+	// Route is the physical segment (source endpoint first).
+	Route graph.Path
+	// Prob is the attempt's one-slot success probability.
+	Prob float64
+}
+
+func (ReserveOrder) message() {}
+
+// String implements fmt.Stringer.
+func (m ReserveOrder) String() string {
+	return fmt.Sprintf("ReserveOrder{#%d route=%v}", m.AttemptID, m.Route)
+}
+
+// CircuitSetup asks an interior node to patch an all-optical cross-connect
+// for the attempt (no memory, no detection — the paper's key saving).
+type CircuitSetup struct {
+	AttemptID int
+	In, Out   int // neighbour node IDs being bridged
+}
+
+func (CircuitSetup) message() {}
+
+// String implements fmt.Stringer.
+func (m CircuitSetup) String() string {
+	return fmt.Sprintf("CircuitSetup{#%d %d<->%d}", m.AttemptID, m.In, m.Out)
+}
+
+// PhotonArrival notifies the far endpoint that a Bell-pair photon is
+// inbound; the endpoint detects it (or not) and stores it on success.
+type PhotonArrival struct {
+	AttemptID int
+	From      NodeID
+	Success   bool // sampled by the physical layer
+}
+
+func (PhotonArrival) message() {}
+
+// String implements fmt.Stringer.
+func (m PhotonArrival) String() string {
+	return fmt.Sprintf("PhotonArrival{#%d from=%d ok=%v}", m.AttemptID, m.From, m.Success)
+}
+
+// CreationReport tells the controller whether an attempt realized a
+// segment (step iii's input).
+type CreationReport struct {
+	AttemptID int
+	Success   bool
+}
+
+func (CreationReport) message() {}
+
+// String implements fmt.Stringer.
+func (m CreationReport) String() string {
+	return fmt.Sprintf("CreationReport{#%d ok=%v}", m.AttemptID, m.Success)
+}
+
+// SwapOrder tells a junction node to swap two stored photons, joining the
+// segments identified by the two attempt IDs.
+type SwapOrder struct {
+	ConnectionID  int
+	LeftAttempt   int
+	RightAttempt  int
+	JunctionIndex int // position along the connection, for bookkeeping
+}
+
+func (SwapOrder) message() {}
+
+// String implements fmt.Stringer.
+func (m SwapOrder) String() string {
+	return fmt.Sprintf("SwapOrder{conn=%d left=#%d right=#%d}", m.ConnectionID, m.LeftAttempt, m.RightAttempt)
+}
+
+// SwapReport reports a junction outcome to the controller.
+type SwapReport struct {
+	ConnectionID  int
+	JunctionIndex int
+	Success       bool
+}
+
+func (SwapReport) message() {}
+
+// String implements fmt.Stringer.
+func (m SwapReport) String() string {
+	return fmt.Sprintf("SwapReport{conn=%d j=%d ok=%v}", m.ConnectionID, m.JunctionIndex, m.Success)
+}
+
+// TeleportOrder tells a source that its end-to-end entanglement is ready;
+// the source measures its data qubit with the Bell photon and sends the
+// two classical correction bits to the destination.
+type TeleportOrder struct {
+	ConnectionID int
+	Destination  NodeID
+	// SourceAttempt / DestAttempt identify the Bell photons held at the
+	// two ends of the established connection; teleportation consumes them.
+	SourceAttempt int
+	DestAttempt   int
+}
+
+func (TeleportOrder) message() {}
+
+// String implements fmt.Stringer.
+func (m TeleportOrder) String() string {
+	return fmt.Sprintf("TeleportOrder{conn=%d dst=%d}", m.ConnectionID, m.Destination)
+}
+
+// ClassicalBits carries the teleportation correction bits plus (for the
+// simulator's benefit) the teleported state so the destination can
+// reconstruct it after applying the correction.
+type ClassicalBits struct {
+	ConnectionID int
+	DestAttempt  int
+	Bits         [2]bool
+	State        *qnet.Qubit
+}
+
+func (ClassicalBits) message() {}
+
+// String implements fmt.Stringer.
+func (m ClassicalBits) String() string {
+	return fmt.Sprintf("ClassicalBits{conn=%d bits=%v}", m.ConnectionID, m.Bits)
+}
+
+// TeleportAck closes the loop: the destination confirms state receipt.
+type TeleportAck struct {
+	ConnectionID int
+	Fidelity     float64
+}
+
+func (TeleportAck) message() {}
+
+// String implements fmt.Stringer.
+func (m TeleportAck) String() string {
+	return fmt.Sprintf("TeleportAck{conn=%d F=%.3f}", m.ConnectionID, m.Fidelity)
+}

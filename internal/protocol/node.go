@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"fmt"
+	"math/rand"
+
+	"see/internal/qnet"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// Node is a quantum node agent: it owns its local memory, stored Bell-pair
+// photons and optical cross-connects, and answers controller orders over
+// the bus. All randomness (photon survival, detection, swap outcomes) is
+// sampled from the node's own stream.
+type Node struct {
+	ID  NodeID
+	net *topo.Network
+	bus *Bus
+	rng *rand.Rand
+
+	memFree int
+	// photons maps attempt ID -> true while this node stores one photon of
+	// the attempt's Bell pair.
+	photons map[int]bool
+	// circuits tracks the all-optical cross-connects patched this slot.
+	circuits map[int]struct{}
+	// dataQubits holds generated data qubits per connection (source side)
+	// and received qubits (destination side).
+	dataQubits map[int]*qnet.Qubit
+	received   map[int]*qnet.Qubit
+	// routes remembers, per attempt this node originated, the far endpoint
+	// and success probability.
+	pending map[int]ReserveOrder
+
+	// Err records the first local invariant violation (memory overdraw,
+	// swap without photons); the controller surfaces it after the slot.
+	Err error
+}
+
+// NewNode builds the agent and registers it on the bus.
+func NewNode(id NodeID, net *topo.Network, bus *Bus, rng *rand.Rand) *Node {
+	n := &Node{
+		ID:         id,
+		net:        net,
+		bus:        bus,
+		rng:        rng,
+		memFree:    net.Memory[id],
+		photons:    make(map[int]bool),
+		circuits:   make(map[int]struct{}),
+		dataQubits: make(map[int]*qnet.Qubit),
+		received:   make(map[int]*qnet.Qubit),
+		pending:    make(map[int]ReserveOrder),
+	}
+	bus.Register(id, n.handle)
+	return n
+}
+
+// ResetSlot releases all slot-scoped state: stored Bell photons decohere
+// at the end of a time slot, freeing their memory, and optical
+// cross-connects are torn down. Teleported-qubit records persist for
+// inspection.
+func (n *Node) ResetSlot() {
+	n.photons = make(map[int]bool)
+	n.circuits = make(map[int]struct{})
+	n.pending = make(map[int]ReserveOrder)
+	n.memFree = n.net.Memory[n.ID]
+}
+
+// MemFree returns the node's free memory (tests assert no overdraw).
+func (n *Node) MemFree() int { return n.memFree }
+
+// StoredPhotons returns how many Bell-pair photons the node holds.
+func (n *Node) StoredPhotons() int { return len(n.photons) }
+
+// ReceivedQubit returns the teleported state for a connection, if this node
+// was its destination.
+func (n *Node) ReceivedQubit(connID int) *qnet.Qubit { return n.received[connID] }
+
+// Circuits returns how many optical cross-connects were patched this slot.
+func (n *Node) Circuits() int { return len(n.circuits) }
+
+func (n *Node) fail(err error) {
+	if n.Err == nil {
+		n.Err = err
+	}
+}
+
+func (n *Node) handle(env Envelope) {
+	switch m := env.Msg.(type) {
+	case ReserveOrder:
+		n.onReserve(m)
+	case CircuitSetup:
+		n.circuits[m.AttemptID] = struct{}{}
+	case PhotonArrival:
+		n.onPhoton(m)
+	case SwapOrder:
+		n.onSwap(m)
+	case TeleportOrder:
+		n.onTeleport(m)
+	case ClassicalBits:
+		n.onClassical(m)
+	default:
+		n.fail(fmt.Errorf("protocol: node %d got unexpected %T", n.ID, env.Msg))
+	}
+}
+
+// onReserve: reserve memory for our Bell photon, patch interior circuits,
+// generate the pair and launch the far photon. Whether it survives the
+// fibre and is detected is sampled here and carried on the arrival message
+// (the physical layer is not a separate agent).
+func (n *Node) onReserve(m ReserveOrder) {
+	if len(m.Route) < 2 || m.Route[0] != int(n.ID) {
+		n.fail(fmt.Errorf("protocol: node %d got foreign ReserveOrder %v", n.ID, m.Route))
+		return
+	}
+	if n.memFree < 1 {
+		n.fail(fmt.Errorf("protocol: node %d memory overdraw on attempt %d", n.ID, m.AttemptID))
+		return
+	}
+	n.memFree--
+	n.photons[m.AttemptID] = true
+	n.pending[m.AttemptID] = m
+	for i := 1; i+1 < len(m.Route); i++ {
+		n.bus.Send(n.ID, NodeID(m.Route[i]), CircuitSetup{
+			AttemptID: m.AttemptID,
+			In:        m.Route[i-1],
+			Out:       m.Route[i+1],
+		})
+	}
+	far := NodeID(m.Route[len(m.Route)-1])
+	n.bus.Send(n.ID, far, PhotonArrival{
+		AttemptID: m.AttemptID,
+		From:      n.ID,
+		Success:   xrand.Bernoulli(n.rng, m.Prob),
+	})
+}
+
+func (n *Node) onPhoton(m PhotonArrival) {
+	if !m.Success {
+		n.bus.Send(n.ID, ControllerID, CreationReport{AttemptID: m.AttemptID, Success: false})
+		return
+	}
+	if n.memFree < 1 {
+		// No room to store the photon: the attempt fails despite arrival.
+		n.bus.Send(n.ID, ControllerID, CreationReport{AttemptID: m.AttemptID, Success: false})
+		return
+	}
+	n.memFree--
+	n.photons[m.AttemptID] = true
+	n.bus.Send(n.ID, ControllerID, CreationReport{AttemptID: m.AttemptID, Success: true})
+}
+
+// onSwap: measure the two stored photons; success extends the entanglement,
+// failure destroys it. Either way both photons are consumed and the memory
+// is freed.
+func (n *Node) onSwap(m SwapOrder) {
+	if !n.photons[m.LeftAttempt] || !n.photons[m.RightAttempt] {
+		n.fail(fmt.Errorf("protocol: node %d asked to swap attempts %d/%d it does not hold",
+			n.ID, m.LeftAttempt, m.RightAttempt))
+		return
+	}
+	delete(n.photons, m.LeftAttempt)
+	delete(n.photons, m.RightAttempt)
+	n.memFree += 2
+	ok := xrand.Bernoulli(n.rng, n.net.SwapProb[n.ID])
+	n.bus.Send(n.ID, ControllerID, SwapReport{
+		ConnectionID:  m.ConnectionID,
+		JunctionIndex: m.JunctionIndex,
+		Success:       ok,
+	})
+}
+
+// onTeleport: generate a data qubit, measure it with the local Bell photon
+// (collapsing both) and send the classical correction bits.
+func (n *Node) onTeleport(m TeleportOrder) {
+	if !n.photons[m.SourceAttempt] {
+		n.fail(fmt.Errorf("protocol: node %d has no Bell photon for connection %d", n.ID, m.ConnectionID))
+		return
+	}
+	delete(n.photons, m.SourceAttempt)
+	n.memFree++
+	data := qnet.RandomQubit(n.rng)
+	n.dataQubits[m.ConnectionID] = qnet.NewQubit(data.Alpha, data.Beta) // reference copy
+	state := qnet.NewQubit(data.Alpha, data.Beta)
+	n.bus.Send(n.ID, m.Destination, ClassicalBits{
+		ConnectionID: m.ConnectionID,
+		DestAttempt:  m.DestAttempt,
+		Bits:         [2]bool{n.rng.Intn(2) == 1, n.rng.Intn(2) == 1},
+		State:        state,
+	})
+}
+
+// SentQubit returns the reference copy of the data qubit teleported over a
+// connection (source side), for fidelity checks.
+func (n *Node) SentQubit(connID int) *qnet.Qubit { return n.dataQubits[connID] }
+
+// onClassical: apply the unitary correction selected by the bits; the
+// local Bell photon becomes the data qubit.
+func (n *Node) onClassical(m ClassicalBits) {
+	if !n.photons[m.DestAttempt] {
+		n.fail(fmt.Errorf("protocol: node %d has no Bell photon for connection %d", n.ID, m.ConnectionID))
+		return
+	}
+	delete(n.photons, m.DestAttempt)
+	n.memFree++
+	// The correction is deterministic given the bits; in this state-vector
+	// model applying it yields exactly the sent state.
+	n.received[m.ConnectionID] = m.State
+	n.bus.Send(n.ID, ControllerID, TeleportAck{
+		ConnectionID: m.ConnectionID,
+		Fidelity:     1,
+	})
+}

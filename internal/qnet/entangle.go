@@ -1,0 +1,236 @@
+package qnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"see/internal/graph"
+	"see/internal/segment"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// Segment is a successfully created entanglement segment: a Bell pair whose
+// photons are stored at nodes A and B.
+type Segment struct {
+	// A < B are the endpoint nodes holding the entangled photons.
+	A, B int
+	// Cand is the physical realization the segment was created over.
+	Cand *segment.Candidate
+	// consumed marks the segment as used by a connection.
+	consumed bool
+}
+
+// Pair returns the endpoint pair key.
+func (s *Segment) Pair() segment.PairKey { return segment.MakePairKey(s.A, s.B) }
+
+// Consumed reports whether the segment has been assigned to a connection.
+func (s *Segment) Consumed() bool { return s.consumed }
+
+// AttemptPlan maps each candidate realization to the number of creation
+// attempts reserved for it (the x^k_uv of the paper).
+type AttemptPlan map[*segment.Candidate]int
+
+// TotalAttempts sums the attempts in the plan.
+func (p AttemptPlan) TotalAttempts() int {
+	total := 0
+	for _, n := range p {
+		total += n
+	}
+	return total
+}
+
+// ExpectedSegments returns Σ x^k_uv · p^k_uv over the plan.
+func (p AttemptPlan) ExpectedSegments() float64 {
+	var total float64
+	for c, n := range p {
+		total += float64(n) * c.Prob
+	}
+	return total
+}
+
+// AttemptAll performs the physical phase: every reserved attempt succeeds
+// independently with its candidate's probability. The result is sorted
+// deterministically (by endpoint pair, then candidate path) so a fixed rng
+// yields a fixed outcome regardless of map iteration order.
+func AttemptAll(plan AttemptPlan, rng *rand.Rand) []*Segment {
+	cands := make([]*segment.Candidate, 0, len(plan))
+	for c := range plan {
+		cands = append(cands, c)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.U() != b.U() {
+			return a.U() < b.U()
+		}
+		if a.V() != b.V() {
+			return a.V() < b.V()
+		}
+		return topo.Key(a.Path) < topo.Key(b.Path)
+	})
+	var out []*Segment
+	for _, c := range cands {
+		for k := 0; k < plan[c]; k++ {
+			if xrand.Bernoulli(rng, c.Prob) {
+				out = append(out, &Segment{A: c.U(), B: c.V(), Cand: c})
+			}
+		}
+	}
+	return out
+}
+
+// Pool indexes realized segments by endpoint pair and hands them out to
+// connections.
+type Pool struct {
+	byPair map[segment.PairKey][]*Segment
+}
+
+// NewPool builds a pool over realized segments.
+func NewPool(segs []*Segment) *Pool {
+	p := &Pool{byPair: make(map[segment.PairKey][]*Segment)}
+	for _, s := range segs {
+		p.byPair[s.Pair()] = append(p.byPair[s.Pair()], s)
+	}
+	return p
+}
+
+// Available returns how many unconsumed segments remain for a pair.
+func (p *Pool) Available(pk segment.PairKey) int {
+	n := 0
+	for _, s := range p.byPair[pk] {
+		if !s.consumed {
+			n++
+		}
+	}
+	return n
+}
+
+// Take consumes one segment for the pair, or returns nil if none remain.
+func (p *Pool) Take(pk segment.PairKey) *Segment {
+	for _, s := range p.byPair[pk] {
+		if !s.consumed {
+			s.consumed = true
+			return s
+		}
+	}
+	return nil
+}
+
+// Return un-consumes a segment (used when a partially assembled connection
+// is rolled back).
+func (p *Pool) Return(s *Segment) {
+	s.consumed = false
+}
+
+// Pairs returns the endpoint pairs with at least one unconsumed segment,
+// sorted.
+func (p *Pool) Pairs() []segment.PairKey {
+	keys := make([]segment.PairKey, 0, len(p.byPair))
+	for pk := range p.byPair {
+		if p.Available(pk) > 0 {
+			keys = append(keys, pk)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].U != keys[j].U {
+			return keys[i].U < keys[j].U
+		}
+		return keys[i].V < keys[j].V
+	})
+	return keys
+}
+
+// Connection is an end-to-end entanglement connection assembled from
+// segments, pending its swap operations.
+type Connection struct {
+	// Pair indexes the SD pair the connection serves.
+	Pair int
+	// Nodes is the junction sequence s, j₁, …, d.
+	Nodes graph.Path
+	// Segments are the entanglement segments between consecutive junction
+	// nodes.
+	Segments []*Segment
+	// Spares are extra segments consumed by junction-level swap retries
+	// (see EstablishWithRetries).
+	Spares []*Segment
+}
+
+// Junctions returns the intermediate nodes that must perform quantum
+// swapping.
+func (c *Connection) Junctions() []int {
+	if len(c.Nodes) <= 2 {
+		return nil
+	}
+	return c.Nodes[1 : len(c.Nodes)-1]
+}
+
+// Validate checks the connection's structural invariants.
+func (c *Connection) Validate() error {
+	if len(c.Nodes) < 2 {
+		return fmt.Errorf("qnet: connection with %d nodes", len(c.Nodes))
+	}
+	if len(c.Segments) != len(c.Nodes)-1 {
+		return fmt.Errorf("qnet: %d segments for %d nodes", len(c.Segments), len(c.Nodes))
+	}
+	for i, s := range c.Segments {
+		want := segment.MakePairKey(c.Nodes[i], c.Nodes[i+1])
+		if s.Pair() != want {
+			return fmt.Errorf("qnet: segment %d spans %+v, want %+v", i, s.Pair(), want)
+		}
+	}
+	return nil
+}
+
+// Swap performs the quantum swapping at every junction; the connection is
+// established only if all swaps succeed (paper step iv).
+func (c *Connection) Swap(net *topo.Network, rng *rand.Rand) bool {
+	for _, u := range c.Junctions() {
+		if !xrand.Bernoulli(rng, net.SwapProb[u]) {
+			return false
+		}
+	}
+	return true
+}
+
+// SuccessProb returns the analytic probability that all junction swaps
+// succeed in a single pass (no retries).
+func (c *Connection) SuccessProb(net *topo.Network) float64 {
+	p := 1.0
+	for _, u := range c.Junctions() {
+		p *= net.SwapProb[u]
+	}
+	return p
+}
+
+// EstablishWithRetries performs the connection's junction swaps with
+// segment-level retries: when the swap at a junction fails, the two photons
+// it measured are lost, but if the pool still holds a spare segment for
+// each of the junction's incident hops, the junction re-creates its local
+// pair state and retries. This is exactly the failure mode the provisioning
+// LP budgets for when constraint (1d) apportions √(q_u·q_v) of the swap
+// success onto each incident segment — redundant segments convert swap
+// failures into extra resource consumption instead of lost connections.
+//
+// Consumed spares are recorded in c.Spares. The return value reports
+// whether every junction eventually succeeded; on failure all consumed
+// segments stay consumed (the photons are gone either way).
+func (c *Connection) EstablishWithRetries(net *topo.Network, pool *Pool, rng *rand.Rand) bool {
+	for i := 1; i+1 < len(c.Nodes); i++ {
+		junction := c.Nodes[i]
+		left := segment.MakePairKey(c.Nodes[i-1], c.Nodes[i])
+		right := segment.MakePairKey(c.Nodes[i], c.Nodes[i+1])
+		for {
+			if xrand.Bernoulli(rng, net.SwapProb[junction]) {
+				break
+			}
+			// Swap failed: the segments on both sides of the junction are
+			// destroyed. Retry only if spares exist on both sides.
+			if pool.Available(left) < 1 || pool.Available(right) < 1 {
+				return false
+			}
+			c.Spares = append(c.Spares, pool.Take(left), pool.Take(right))
+		}
+	}
+	return true
+}

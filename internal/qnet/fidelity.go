@@ -1,0 +1,61 @@
+package qnet
+
+import "math"
+
+// FidelityModel estimates end-to-end entanglement fidelity under a
+// Werner-state noise model. The paper optimizes throughput only and leaves
+// fidelity to future work; this extension makes the SEE-vs-REPS fidelity
+// trade-off measurable: segmented establishment crosses each fibre span in
+// one optical shot (fewer noisy swap operations) but its photons travel
+// farther before detection (more transmission depolarization).
+type FidelityModel struct {
+	// F0 is the fidelity of a freshly created Bell pair over zero
+	// distance (detector/source imperfections only). Typical: 0.99.
+	F0 float64
+	// DecayKM is the depolarization length: transmission over l km scales
+	// the Werner parameter by e^(−l/DecayKM). Typical: 20,000 km for
+	// purified links (the simulator's default keeps fidelity secondary to
+	// throughput, as in the paper).
+	DecayKM float64
+	// SwapF0 scales the Werner parameter at every swap operation,
+	// modelling imperfect Bell-state measurement. Typical: 0.98.
+	SwapF0 float64
+}
+
+// DefaultFidelityModel returns plausible near-term parameters.
+func DefaultFidelityModel() FidelityModel {
+	return FidelityModel{F0: 0.99, DecayKM: 20000, SwapF0: 0.98}
+}
+
+// wernerOf converts fidelity F to the Werner parameter w = (4F−1)/3.
+func wernerOf(f float64) float64 { return (4*f - 1) / 3 }
+
+// fidelityOf converts a Werner parameter back to fidelity.
+func fidelityOf(w float64) float64 { return (3*w + 1) / 4 }
+
+// SegmentFidelity is the fidelity of one entanglement segment created over
+// lengthKM of fibre.
+func (m FidelityModel) SegmentFidelity(lengthKM float64) float64 {
+	w := wernerOf(m.F0) * math.Exp(-lengthKM/m.DecayKM)
+	return fidelityOf(w)
+}
+
+// SwapFidelity composes two Werner states joined by an (imperfect) swap:
+// Werner parameters multiply, scaled by the measurement quality.
+func (m FidelityModel) SwapFidelity(f1, f2 float64) float64 {
+	w := wernerOf(f1) * wernerOf(f2) * wernerOf(m.SwapF0)
+	return fidelityOf(w)
+}
+
+// ConnectionFidelity folds a connection's segments left to right through
+// the swap composition. Segments use their realization's physical length.
+func (m FidelityModel) ConnectionFidelity(c *Connection, lengthOf func(s *Segment) float64) float64 {
+	if len(c.Segments) == 0 {
+		return 0
+	}
+	f := m.SegmentFidelity(lengthOf(c.Segments[0]))
+	for _, s := range c.Segments[1:] {
+		f = m.SwapFidelity(f, m.SegmentFidelity(lengthOf(s)))
+	}
+	return f
+}

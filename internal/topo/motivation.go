@@ -1,0 +1,84 @@
+package topo
+
+import (
+	"math"
+
+	"see/internal/graph"
+)
+
+// Node labels of the Fig. 2 motivation fixture.
+const (
+	MotivS1 = 0
+	MotivS2 = 1
+	MotivR1 = 2
+	MotivR2 = 3
+	MotivD1 = 4
+	MotivD2 = 5
+)
+
+// MotivationAlpha is the attenuation parameter used by the fixture; link
+// lengths are chosen so every single link has success probability 0.9.
+const MotivationAlpha = 2e-4
+
+// Motivation builds the Fig. 2 example network:
+//
+//	s1 ─ r1 ─ d2      links: (s1,r1) (s2,r1) (r1,d2) (r1,r2) (r2,d2) (r2,d1)
+//	s2 ─ r1 ─ r2 ─ d1
+//
+// r1 and r2 have 2 units of memory, the other four nodes 1; every link has
+// one channel; every link succeeds with probability 0.9 and every node swaps
+// with probability 0.9. Multi-hop segment probabilities follow Fig. 2(b):
+// the 2-hop segment s2→r1→d2 has probability 0.8, other 2-hop segments
+// 0.85, 3-hop segments 0.75. The conventional optimum establishes
+// 0.9³ = 0.729 expected connections; SEE establishes
+// 0.8 + 0.9·0.85·0.9 = 1.489.
+func Motivation() (*Network, []SDPair) {
+	linkLen := -math.Log(0.9) / MotivationAlpha
+	net := &Network{
+		G:        graph.New(6),
+		Pos:      make([][2]float64, 6),
+		Memory:   []int{1, 1, 2, 2, 1, 1},
+		SwapProb: []float64{0.9, 0.9, 0.9, 0.9, 0.9, 0.9},
+	}
+	// Rough layout for visualization only.
+	net.Pos = [][2]float64{
+		{0, 1000}, {0, 0}, {1000, 500}, {2000, 500}, {3000, 0}, {3000, 1000},
+	}
+	links := [][2]int{
+		{MotivS1, MotivR1},
+		{MotivS2, MotivR1},
+		{MotivR1, MotivD2},
+		{MotivR1, MotivR2},
+		{MotivR2, MotivD2},
+		{MotivR2, MotivD1},
+	}
+	for _, l := range links {
+		net.G.AddEdge(l[0], l[1], linkLen)
+		net.LinkLen = append(net.LinkLen, linkLen)
+		net.Channels = append(net.Channels, 1)
+	}
+	table := map[string]float64{
+		// 2-hop segments (Fig. 2(b)).
+		Key(graph.Path{MotivS2, MotivR1, MotivD2}): 0.80,
+		Key(graph.Path{MotivR1, MotivR2, MotivD1}): 0.85,
+		Key(graph.Path{MotivR1, MotivR2, MotivD2}): 0.85,
+		Key(graph.Path{MotivS2, MotivR1, MotivR2}): 0.85,
+		Key(graph.Path{MotivS1, MotivR1, MotivR2}): 0.85,
+		Key(graph.Path{MotivS1, MotivR1, MotivD2}): 0.85,
+		Key(graph.Path{MotivS2, MotivR1, MotivD2}): 0.80,
+		// 3-hop segments.
+		Key(graph.Path{MotivS2, MotivR1, MotivR2, MotivD2}): 0.75,
+		Key(graph.Path{MotivS2, MotivR1, MotivR2, MotivD1}): 0.75,
+		Key(graph.Path{MotivS1, MotivR1, MotivR2, MotivD2}): 0.75,
+		Key(graph.Path{MotivS1, MotivR1, MotivR2, MotivD1}): 0.75,
+	}
+	net.prober = TableProber{
+		Table:    table,
+		Fallback: ExpProber{Alpha: MotivationAlpha, Delta: 0},
+	}
+	pairs := []SDPair{
+		{S: MotivS1, D: MotivD1},
+		{S: MotivS2, D: MotivD2},
+	}
+	return net, pairs
+}

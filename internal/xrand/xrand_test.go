@@ -1,0 +1,134 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("generators with equal seeds diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSplitIndependent(t *testing.T) {
+	rng := New(7)
+	a := Split(rng)
+	b := Split(rng)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams look correlated: %d/64 equal draws", same)
+	}
+}
+
+func TestForTrialStable(t *testing.T) {
+	x := ForTrial(123, 5).Int63()
+	y := ForTrial(123, 5).Int63()
+	if x != y {
+		t.Fatalf("ForTrial not stable: %d vs %d", x, y)
+	}
+	if ForTrial(123, 5).Int63() == ForTrial(123, 6).Int63() {
+		t.Fatal("adjacent trials produced identical first draw")
+	}
+	if ForTrial(123, 5).Int63() == ForTrial(124, 5).Int63() {
+		t.Fatal("adjacent seeds produced identical first draw")
+	}
+}
+
+func TestBernoulliEdges(t *testing.T) {
+	rng := New(1)
+	for i := 0; i < 100; i++ {
+		if Bernoulli(rng, 0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !Bernoulli(rng, 1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+		if Bernoulli(rng, -0.5) {
+			t.Fatal("Bernoulli(-0.5) returned true")
+		}
+		if !Bernoulli(rng, 1.5) {
+			t.Fatal("Bernoulli(1.5) returned false")
+		}
+	}
+}
+
+func TestBernoulliFrequency(t *testing.T) {
+	rng := New(99)
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if Bernoulli(rng, 0.3) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.3) > 0.01 {
+		t.Fatalf("Bernoulli(0.3) frequency = %.4f, want ~0.30", got)
+	}
+}
+
+func TestWeightedIndexDegenerate(t *testing.T) {
+	rng := New(3)
+	if got := WeightedIndex(rng, nil); got != -1 {
+		t.Fatalf("empty weights: got %d, want -1", got)
+	}
+	if got := WeightedIndex(rng, []float64{0, 0, 0}); got != -1 {
+		t.Fatalf("zero weights: got %d, want -1", got)
+	}
+	if got := WeightedIndex(rng, []float64{0, 5, 0}); got != 1 {
+		t.Fatalf("single positive weight: got %d, want 1", got)
+	}
+	if got := WeightedIndex(rng, []float64{-1, 0, 2}); got != 2 {
+		t.Fatalf("negative weights must be ignored: got %d, want 2", got)
+	}
+}
+
+func TestWeightedIndexProportions(t *testing.T) {
+	rng := New(8)
+	weights := []float64{1, 3, 6}
+	counts := make([]int, 3)
+	const n = 300000
+	for i := 0; i < n; i++ {
+		counts[WeightedIndex(rng, weights)]++
+	}
+	want := []float64{0.1, 0.3, 0.6}
+	for i, c := range counts {
+		got := float64(c) / n
+		if math.Abs(got-want[i]) > 0.01 {
+			t.Fatalf("index %d frequency = %.4f, want ~%.2f", i, got, want[i])
+		}
+	}
+}
+
+func TestWeightedIndexAlwaysValid(t *testing.T) {
+	rng := New(17)
+	f := func(raw []float64) bool {
+		anyPositive := false
+		for i := range raw {
+			raw[i] = math.Abs(raw[i])
+			if raw[i] > 0 && !math.IsInf(raw[i], 0) && !math.IsNaN(raw[i]) {
+				anyPositive = true
+			} else {
+				raw[i] = 0
+			}
+		}
+		idx := WeightedIndex(rng, raw)
+		if !anyPositive {
+			return idx == -1
+		}
+		return idx >= 0 && idx < len(raw) && raw[idx] > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,408 @@
+// Package see is the public API of the SEE reproduction — Segmented
+// Entanglement Establishment for Throughput Maximization in Quantum
+// Networks (Zhao et al., IEEE ICDCS 2022).
+//
+// The package wraps the internal engine stack behind a small surface:
+//
+//	net, pairs, _ := see.GenerateNetwork(see.DefaultNetworkConfig(), 20, 1)
+//	sched, _ := see.NewScheduler(see.SEE, net, pairs, nil)
+//	res, _ := sched.RunSlot(rand.New(rand.NewSource(1)))
+//	fmt.Println("established:", res.Established)
+//
+// Three schedulers are available: SEE (the paper's contribution), REPS
+// (the INFOCOM'21 entanglement-link baseline) and E2E (all-optical
+// switching only). The experiment harness regenerating the paper's
+// figures is exposed via RunExperiment and the Fig* helpers.
+package see
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"see/internal/core"
+	"see/internal/e2e"
+	"see/internal/reps"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// Algorithm selects an entanglement-establishment scheme.
+type Algorithm int
+
+// The schemes compared in the paper's evaluation.
+const (
+	// SEE integrates all-optical switching with quantum swapping
+	// (the paper's contribution).
+	SEE Algorithm = iota
+	// REPS uses entanglement links only (Zhao & Qiao, INFOCOM 2021).
+	REPS
+	// E2E uses all-optical switching only: one segment per connection.
+	E2E
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SEE:
+		return "SEE"
+	case REPS:
+		return "REPS"
+	case E2E:
+		return "E2E"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// NetworkConfig mirrors the evaluation parameters of §IV-A.
+type NetworkConfig struct {
+	// Nodes placed uniformly in a square area (default 200).
+	Nodes int
+	// AreaKM is the square side in km (default 10,000).
+	AreaKM float64
+	// Channels per quantum link (default 3).
+	Channels int
+	// Memory units per node (default 10).
+	Memory int
+	// SwapProb is the quantum swapping success probability q (default 0.9).
+	SwapProb float64
+	// Alpha is the attenuation in p = e^(−αl) + δ (default 2e-4).
+	Alpha float64
+	// Delta is the half-width of the uniform noise δ (default 0.05).
+	Delta float64
+}
+
+// DefaultNetworkConfig returns the paper's defaults.
+func DefaultNetworkConfig() NetworkConfig {
+	c := topo.DefaultConfig()
+	return NetworkConfig{
+		Nodes:    c.Nodes,
+		AreaKM:   c.AreaKM,
+		Channels: c.Channels,
+		Memory:   c.Memory,
+		SwapProb: c.SwapProb,
+		Alpha:    c.Alpha,
+		Delta:    c.Delta,
+	}
+}
+
+func (c NetworkConfig) toTopo() topo.Config {
+	t := topo.DefaultConfig()
+	if c.Nodes > 0 {
+		t.Nodes = c.Nodes
+	}
+	if c.AreaKM > 0 {
+		t.AreaKM = c.AreaKM
+	}
+	if c.Channels > 0 {
+		t.Channels = c.Channels
+	}
+	if c.Memory > 0 {
+		t.Memory = c.Memory
+	}
+	if c.SwapProb > 0 {
+		t.SwapProb = c.SwapProb
+	}
+	if c.Alpha > 0 {
+		t.Alpha = c.Alpha
+	}
+	if c.Delta >= 0 {
+		t.Delta = c.Delta
+	}
+	return t
+}
+
+// SDPair is a source-destination demand.
+type SDPair struct {
+	S, D int
+}
+
+// Network is a generated quantum data network plus its demand set.
+type Network struct {
+	inner *topo.Network
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return n.inner.NumNodes() }
+
+// NumLinks returns the quantum link count.
+func (n *Network) NumLinks() int { return n.inner.NumLinks() }
+
+// Stats summarizes the topology (degree, link lengths, probabilities).
+func (n *Network) Stats() NetworkStats {
+	st := topo.Summarize(n.inner)
+	return NetworkStats{
+		Nodes:        st.Nodes,
+		Links:        st.Links,
+		AvgDegree:    st.AvgDegree,
+		MeanLinkKM:   st.MeanLinkKM,
+		MeanLinkProb: st.MeanLinkProb,
+	}
+}
+
+// NetworkStats summarizes a topology.
+type NetworkStats struct {
+	Nodes, Links int
+	AvgDegree    float64
+	MeanLinkKM   float64
+	MeanLinkProb float64
+}
+
+// GenerateNetwork builds a random Waxman QDN with the given number of SD
+// pairs, deterministically from the seed.
+func GenerateNetwork(cfg NetworkConfig, sdPairs int, seed int64) (*Network, []SDPair, error) {
+	rng := xrand.New(seed)
+	net, err := topo.Generate(cfg.toTopo(), xrand.Split(rng))
+	if err != nil {
+		return nil, nil, err
+	}
+	raw := topo.ChooseSDPairs(net, sdPairs, xrand.Split(rng))
+	pairs := make([]SDPair, len(raw))
+	for i, p := range raw {
+		pairs[i] = SDPair{S: p.S, D: p.D}
+	}
+	return &Network{inner: net}, pairs, nil
+}
+
+// MotivationNetwork returns the paper's Fig. 2 fixture with its two SD
+// pairs.
+func MotivationNetwork() (*Network, []SDPair) {
+	net, raw := topo.Motivation()
+	pairs := make([]SDPair, len(raw))
+	for i, p := range raw {
+		pairs[i] = SDPair{S: p.S, D: p.D}
+	}
+	return &Network{inner: net}, pairs
+}
+
+// SchedulerOptions tunes a scheduler; the zero value (or nil pointer)
+// selects paper defaults.
+type SchedulerOptions struct {
+	// KPaths is the Yen candidate-path budget per SD pair (default 5 for
+	// SEE/REPS, 1 for E2E).
+	KPaths int
+	// MaxSegmentHops caps physical hops per entanglement segment for SEE
+	// (default 10).
+	MaxSegmentHops int
+	// MinSegmentProb prunes low-probability candidate segments for SEE
+	// (default 0.05).
+	MinSegmentProb float64
+	// StrictProvisioning switches SEE's ESC to the paper-literal
+	// Algorithm 2 (see core.Options).
+	StrictProvisioning bool
+	// PlainObjective disables the swap-survival weighting of the LP
+	// objective (ablation; see flow.Options.SwapWeightedObjective).
+	PlainObjective bool
+}
+
+// SlotResult reports one simulated time slot.
+type SlotResult struct {
+	// Established is the throughput: entanglement connections completed
+	// this slot (each teleports exactly one data qubit).
+	Established int
+	// PerPair breaks Established down by SD pair.
+	PerPair []int
+	// Attempts is the number of segment-creation attempts reserved.
+	Attempts int
+	// SegmentsCreated counts attempts that succeeded.
+	SegmentsCreated int
+}
+
+// Scheduler runs time slots of one entanglement-establishment scheme over
+// a fixed network and demand set.
+type Scheduler interface {
+	// Algorithm identifies the scheme.
+	Algorithm() Algorithm
+	// RunSlot simulates one time slot; the rng drives all stochastic
+	// outcomes, so a fixed generator state reproduces the slot.
+	RunSlot(rng *rand.Rand) (*SlotResult, error)
+	// UpperBound returns the scheduler's LP planning value. For the
+	// default swap-survival-weighted objective this bounds the expected
+	// single-pass throughput; retry-based establishment (backed by
+	// redundant segments) can deliver somewhat more.
+	UpperBound() float64
+}
+
+// NewScheduler builds a scheduler for the given algorithm. opts may be nil.
+func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOptions) (Scheduler, error) {
+	if net == nil {
+		return nil, errors.New("see: nil network")
+	}
+	raw := make([]topo.SDPair, len(pairs))
+	for i, p := range pairs {
+		raw[i] = topo.SDPair{S: p.S, D: p.D}
+	}
+	var o SchedulerOptions
+	if opts != nil {
+		o = *opts
+	}
+	switch alg {
+	case SEE:
+		co := core.DefaultOptions()
+		if o.KPaths > 0 {
+			co.Segment.KPaths = o.KPaths
+		}
+		if o.MaxSegmentHops > 0 {
+			co.Segment.MaxSegmentHops = o.MaxSegmentHops
+		}
+		if o.MinSegmentProb > 0 {
+			co.Segment.MinProb = o.MinSegmentProb
+		}
+		co.StrictProvisioning = o.StrictProvisioning
+		co.Flow.SwapWeightedObjective = !o.PlainObjective
+		eng, err := core.NewEngine(net.inner, raw, co)
+		if err != nil {
+			return nil, err
+		}
+		return &seeScheduler{eng: eng}, nil
+	case REPS:
+		eng, err := reps.NewEngine(net.inner, raw, reps.Options{KPaths: o.KPaths})
+		if err != nil {
+			return nil, err
+		}
+		return &repsScheduler{eng: eng}, nil
+	case E2E:
+		eng, err := e2e.NewEngine(net.inner, raw, e2e.Options{KPaths: o.KPaths})
+		if err != nil {
+			return nil, err
+		}
+		return &e2eScheduler{eng: eng}, nil
+	default:
+		return nil, fmt.Errorf("see: unknown algorithm %v", alg)
+	}
+}
+
+type seeScheduler struct{ eng *core.Engine }
+
+func (s *seeScheduler) Algorithm() Algorithm { return SEE }
+func (s *seeScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
+func (s *seeScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
+	r, err := s.eng.RunSlot(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SlotResult{
+		Established:     r.Established,
+		PerPair:         r.PerPair,
+		Attempts:        r.Attempts,
+		SegmentsCreated: r.SegmentsCreated,
+	}, nil
+}
+
+type repsScheduler struct{ eng *reps.Engine }
+
+func (s *repsScheduler) Algorithm() Algorithm { return REPS }
+func (s *repsScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
+func (s *repsScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
+	r, err := s.eng.RunSlot(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SlotResult{
+		Established:     r.Established,
+		PerPair:         r.PerPair,
+		Attempts:        r.Attempts,
+		SegmentsCreated: r.LinksCreated,
+	}, nil
+}
+
+type e2eScheduler struct{ eng *e2e.Engine }
+
+func (s *e2eScheduler) Algorithm() Algorithm { return E2E }
+func (s *e2eScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
+func (s *e2eScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
+	r, err := s.eng.RunSlot(rng)
+	if err != nil {
+		return nil, err
+	}
+	return &SlotResult{
+		Established:     r.Established,
+		PerPair:         r.PerPair,
+		Attempts:        r.Attempts,
+		SegmentsCreated: r.SegmentsCreated,
+	}, nil
+}
+
+// LoadNetwork reads a topology from the edge-list text format of
+// internal/topo.LoadEdgeList:
+//
+//	node <id> <x-km> <y-km> [memory] [swap-prob]
+//	link <u> <v> [length-km] [channels]
+//
+// Omitted per-element resources fall back to cfg; the segment success
+// model is p = e^(−αl) + δ with δ noise seeded by seed.
+func LoadNetwork(r io.Reader, cfg NetworkConfig, seed int64) (*Network, error) {
+	net, err := topo.LoadEdgeList(r, resourceDefaults(cfg, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: net}, nil
+}
+
+// NSFNETNetwork returns the classic 14-node NSFNET backbone with the given
+// resource configuration — a standard reference topology for quantum
+// network evaluations.
+func NSFNETNetwork(cfg NetworkConfig, seed int64) (*Network, error) {
+	net, err := topo.NSFNet(resourceDefaults(cfg, seed))
+	if err != nil {
+		return nil, err
+	}
+	return &Network{inner: net}, nil
+}
+
+// ChoosePairs samples SD pairs from an existing network (loaded or
+// generated), deterministically from the seed.
+func ChoosePairs(net *Network, count int, seed int64) []SDPair {
+	raw := topo.ChooseSDPairs(net.inner, count, xrand.New(seed))
+	pairs := make([]SDPair, len(raw))
+	for i, p := range raw {
+		pairs[i] = SDPair{S: p.S, D: p.D}
+	}
+	return pairs
+}
+
+func resourceDefaults(cfg NetworkConfig, seed int64) topo.ResourceDefaults {
+	return topo.ResourceDefaults{
+		Memory:   cfg.Memory,
+		Channels: cfg.Channels,
+		SwapProb: cfg.SwapProb,
+		Alpha:    cfg.Alpha,
+		Delta:    cfg.Delta,
+		Seed:     seed,
+	}
+}
+
+// Traffic selects how SD pairs are drawn (see ChoosePairsWithTraffic).
+type Traffic int
+
+// Traffic patterns: the paper's uniform sampling, a data-centre hotspot,
+// and gravity-style geographic clustering.
+const (
+	TrafficUniform Traffic = iota
+	TrafficHotspot
+	TrafficGravity
+)
+
+// ChoosePairsWithTraffic samples SD pairs under a traffic pattern,
+// deterministically from the seed. TrafficHotspot anchors half the demand
+// at the highest-degree node; TrafficGravity prefers geographically close
+// pairs.
+func ChoosePairsWithTraffic(net *Network, count int, pattern Traffic, seed int64) []SDPair {
+	cfg := topo.TrafficConfig{Hub: -1}
+	switch pattern {
+	case TrafficHotspot:
+		cfg.Pattern = topo.TrafficHotspot
+	case TrafficGravity:
+		cfg.Pattern = topo.TrafficGravity
+	default:
+		cfg.Pattern = topo.TrafficUniform
+	}
+	raw := topo.ChooseSDPairsWithTraffic(net.inner, count, cfg, xrand.New(seed))
+	pairs := make([]SDPair, len(raw))
+	for i, p := range raw {
+		pairs[i] = SDPair{S: p.S, D: p.D}
+	}
+	return pairs
+}

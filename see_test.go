@@ -1,0 +1,239 @@
+package see
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestGenerateNetworkAndStats(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 50
+	net, pairs, err := GenerateNetwork(cfg, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 50 {
+		t.Fatalf("nodes = %d", net.NumNodes())
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	st := net.Stats()
+	if st.Nodes != 50 || st.Links != net.NumLinks() || st.AvgDegree <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.MeanLinkProb < 0.5 || st.MeanLinkProb > 1 {
+		t.Fatalf("mean link prob = %v", st.MeanLinkProb)
+	}
+	// Determinism.
+	net2, pairs2, err := GenerateNetwork(cfg, 5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net2.NumLinks() != net.NumLinks() || pairs2[0] != pairs[0] {
+		t.Fatal("same seed produced a different network")
+	}
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	net, pairs := MotivationNetwork()
+	if _, err := NewScheduler(SEE, nil, pairs, nil); err == nil {
+		t.Fatal("nil network accepted")
+	}
+	if _, err := NewScheduler(Algorithm(99), net, pairs, nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestAllSchedulersRun(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 40
+	net, pairs, err := GenerateNetwork(cfg, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{SEE, REPS, E2E} {
+		sched, err := NewScheduler(alg, net, pairs, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if sched.Algorithm() != alg {
+			t.Fatalf("Algorithm() = %v, want %v", sched.Algorithm(), alg)
+		}
+		if sched.UpperBound() < 0 {
+			t.Fatalf("%v: negative upper bound", alg)
+		}
+		total := 0
+		for slot := 0; slot < 10; slot++ {
+			res, err := sched.RunSlot(rand.New(rand.NewSource(int64(slot))))
+			if err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+			if res.Established < 0 || len(res.PerPair) != len(pairs) {
+				t.Fatalf("%v: malformed result %+v", alg, res)
+			}
+			sum := 0
+			for _, c := range res.PerPair {
+				sum += c
+			}
+			if sum != res.Established {
+				t.Fatalf("%v: PerPair sum mismatch", alg)
+			}
+			total += res.Established
+		}
+		if alg != E2E && total == 0 {
+			t.Fatalf("%v: established nothing in 10 slots", alg)
+		}
+	}
+}
+
+func TestSchedulerDeterministicPerSeed(t *testing.T) {
+	net, pairs := MotivationNetwork()
+	sched, err := NewScheduler(SEE, net, pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := sched.RunSlot(rand.New(rand.NewSource(3)))
+	b, _ := sched.RunSlot(rand.New(rand.NewSource(3)))
+	if a.Established != b.Established || a.Attempts != b.Attempts {
+		t.Fatal("scheduler not deterministic per seed")
+	}
+}
+
+func TestMotivationExampleValues(t *testing.T) {
+	conv, seeVal := MotivationExample()
+	if math.Abs(conv-0.729) > 1e-9 {
+		t.Fatalf("conventional = %v, want 0.729", conv)
+	}
+	if math.Abs(seeVal-1.4885) > 1e-9 {
+		t.Fatalf("SEE = %v, want 1.4885 (paper rounds to 1.489)", seeVal)
+	}
+}
+
+func TestRunExperimentSmall(t *testing.T) {
+	p := DefaultExperimentParams()
+	p.Nodes = 40
+	p.SDPairs = 4
+	p.Trials = 3
+	res, err := RunExperiment(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{SEE, REPS, E2E} {
+		pr, ok := res[alg]
+		if !ok {
+			t.Fatalf("missing %v", alg)
+		}
+		if pr.MeanThroughput < 0 {
+			t.Fatalf("%v: negative throughput", alg)
+		}
+		if pr.Jain < 0 || pr.Jain > 1+1e-9 {
+			t.Fatalf("%v: Jain = %v", alg, pr.Jain)
+		}
+		if len(pr.CDFXs) != len(pr.CDFPs) {
+			t.Fatalf("%v: CDF length mismatch", alg)
+		}
+	}
+	if res[SEE].MeanThroughput < res[E2E].MeanThroughput*0.5 {
+		t.Fatal("SEE implausibly weak vs E2E")
+	}
+}
+
+func TestSchedulerOptionsAblation(t *testing.T) {
+	net, pairs := MotivationNetwork()
+	strict, err := NewScheduler(SEE, net, pairs, &SchedulerOptions{StrictProvisioning: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := strict.RunSlot(rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With 1 channel per link, the paper-literal ESC cannot reach expected
+	// coverage, so nothing is attempted.
+	if res.Attempts != 0 {
+		t.Fatalf("strict mode attempted %d", res.Attempts)
+	}
+	if _, err := NewScheduler(SEE, net, pairs, &SchedulerOptions{PlainObjective: true, KPaths: 2, MaxSegmentHops: 2, MinSegmentProb: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFigureAPI(t *testing.T) {
+	p := DefaultExperimentParams()
+	p.Nodes = 30
+	p.SDPairs = 3
+	p.Trials = 1
+	fd, err := Figure(5, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.Name == "" || len(fd.Points) < 2 {
+		t.Fatalf("figure data malformed: %+v", fd)
+	}
+	for _, pt := range fd.Points {
+		if _, ok := pt.Results[SEE]; !ok {
+			t.Fatal("missing SEE result")
+		}
+	}
+	if _, err := Figure(99, p); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}
+
+func TestNSFNETNetworkAndLoad(t *testing.T) {
+	net, err := NSFNETNetwork(DefaultNetworkConfig(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.NumNodes() != 14 || net.NumLinks() != 21 {
+		t.Fatalf("NSFNET = %d nodes, %d links", net.NumNodes(), net.NumLinks())
+	}
+	pairs := ChoosePairs(net, 4, 2)
+	if len(pairs) != 4 {
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	// All three schedulers must run on the reference topology.
+	for _, alg := range []Algorithm{SEE, REPS, E2E} {
+		sched, err := NewScheduler(alg, net, pairs, nil)
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if _, err := sched.RunSlot(rand.New(rand.NewSource(5))); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+	}
+	// Loader surface.
+	spec := "node 0 0 0\nnode 1 500 0\nlink 0 1\n"
+	small, err := LoadNetwork(strings.NewReader(spec), DefaultNetworkConfig(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.NumNodes() != 2 {
+		t.Fatal("loaded network wrong")
+	}
+	if _, err := LoadNetwork(strings.NewReader("garbage\n"), DefaultNetworkConfig(), 3); err == nil {
+		t.Fatal("garbage spec accepted")
+	}
+}
+
+func TestChoosePairsWithTraffic(t *testing.T) {
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 50
+	net, _, err := GenerateNetwork(cfg, 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pattern := range []Traffic{TrafficUniform, TrafficHotspot, TrafficGravity} {
+		pairs := ChoosePairsWithTraffic(net, 8, pattern, 4)
+		if len(pairs) != 8 {
+			t.Fatalf("pattern %d: got %d pairs", pattern, len(pairs))
+		}
+		// Pairs must be schedulable.
+		if _, err := NewScheduler(SEE, net, pairs, nil); err != nil {
+			t.Fatalf("pattern %d: %v", pattern, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package see
+
+import (
+	"testing"
+)
+
+func workloadScheduler(t *testing.T) (Scheduler, int) {
+	t.Helper()
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 50
+	net, pairs, err := GenerateNetwork(cfg, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := NewScheduler(SEE, net, pairs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sched, len(pairs)
+}
+
+func TestRunWorkloadValidation(t *testing.T) {
+	sched, pairs := workloadScheduler(t)
+	if _, err := RunWorkload(nil, pairs, WorkloadConfig{Slots: 1}); err == nil {
+		t.Fatal("nil scheduler accepted")
+	}
+	if _, err := RunWorkload(sched, pairs, WorkloadConfig{Slots: 0}); err == nil {
+		t.Fatal("zero slots accepted")
+	}
+	if _, err := RunWorkload(sched, pairs, WorkloadConfig{Slots: 1, ArrivalsPerPair: -1}); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := RunWorkload(sched, pairs+1, WorkloadConfig{Slots: 1, ArrivalsPerPair: 1}); err == nil {
+		t.Fatal("pair-count mismatch accepted")
+	}
+}
+
+func TestRunWorkloadConservation(t *testing.T) {
+	sched, pairs := workloadScheduler(t)
+	res, err := RunWorkload(sched, pairs, WorkloadConfig{
+		Slots:           30,
+		ArrivalsPerPair: 0.8,
+		Seed:            11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived != res.Delivered+res.Dropped+res.Backlog {
+		t.Fatalf("qubits not conserved: %d arrived, %d delivered + %d dropped + %d backlog",
+			res.Arrived, res.Delivered, res.Dropped, res.Backlog)
+	}
+	if res.Dropped != 0 {
+		t.Fatal("unbounded queue must not drop")
+	}
+	sum := 0
+	for _, d := range res.PerPairDelivered {
+		sum += d
+	}
+	if sum != res.Delivered {
+		t.Fatal("per-pair deliveries do not sum")
+	}
+	if res.MeanLatencySlots < 0 {
+		t.Fatal("negative latency")
+	}
+	if res.ThroughputPerSlot != float64(res.Delivered)/30 {
+		t.Fatal("throughput mismatch")
+	}
+}
+
+func TestRunWorkloadQueueCap(t *testing.T) {
+	sched, pairs := workloadScheduler(t)
+	res, err := RunWorkload(sched, pairs, WorkloadConfig{
+		Slots:           30,
+		ArrivalsPerPair: 5, // overload
+		QueueCap:        3,
+		Seed:            13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dropped == 0 {
+		t.Fatal("overloaded capped queue must drop")
+	}
+	if res.Backlog > pairs*3 {
+		t.Fatalf("backlog %d exceeds cap x pairs", res.Backlog)
+	}
+	if res.MaxBacklog > pairs*3 {
+		t.Fatalf("max backlog %d exceeds cap x pairs", res.MaxBacklog)
+	}
+}
+
+func TestRunWorkloadDeterministic(t *testing.T) {
+	sched1, pairs := workloadScheduler(t)
+	sched2, _ := workloadScheduler(t)
+	w := WorkloadConfig{Slots: 20, ArrivalsPerPair: 1, Seed: 7}
+	a, err := RunWorkload(sched1, pairs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunWorkload(sched2, pairs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered != b.Delivered || a.Arrived != b.Arrived || a.MeanLatencySlots != b.MeanLatencySlots {
+		t.Fatalf("workload not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestRunWorkloadLightLoadLowLatency(t *testing.T) {
+	// At a trickle arrival rate, most qubits should be served within a few
+	// slots (the scheduler establishes several connections per slot).
+	sched, pairs := workloadScheduler(t)
+	res, err := RunWorkload(sched, pairs, WorkloadConfig{
+		Slots:           50,
+		ArrivalsPerPair: 0.2,
+		Seed:            17,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Arrived == 0 {
+		t.Fatal("no arrivals at rate 0.2 over 50 slots")
+	}
+	deliveredFrac := float64(res.Delivered) / float64(res.Arrived)
+	if deliveredFrac < 0.5 {
+		t.Fatalf("light load delivered only %.0f%%", deliveredFrac*100)
+	}
+}
