@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build test vet race verify bench figures
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# verify is the repo's full gate: vet, build, and the test suite under the
+# race detector (the experiment harness runs trials concurrently).
+verify: vet build race
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+figures:
+	$(GO) run ./cmd/seefig -fig 3

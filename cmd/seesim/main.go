@@ -30,9 +30,10 @@ func main() {
 		trials   = flag.Int("trials", 10, "independent trials (topology redrawn each)")
 		slots    = flag.Int("slots", 1, "time slots per trial")
 		seed     = flag.Int64("seed", 1, "base random seed")
-		alg      = flag.String("alg", "all", "scheduler: see, reps, e2e or all")
+		alg      = flag.String("alg", "all", "scheduler: see, reps, e2e, a comma-separated list, or all")
 		topoName = flag.String("topo", "waxman", "topology: waxman or nsfnet")
 		traffic  = flag.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
+		trace    = flag.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
 	)
 	flag.Parse()
 
@@ -46,8 +47,10 @@ func main() {
 	cfg.Nodes = *nodes
 	cfg.Channels = *channels
 	cfg.Memory = *memory
-	cfg.SwapProb = *swap
-	cfg.Alpha = *alpha
+	// Flag value 0 is an explicit request (the config's zero value would
+	// silently fall back to the paper default).
+	cfg.SwapProb = explicitFloat(*swap)
+	cfg.Alpha = explicitFloat(*alpha)
 
 	pattern, err := parseTraffic(*traffic)
 	if err != nil {
@@ -57,6 +60,10 @@ func main() {
 
 	totals := make(map[see.Algorithm]float64, len(algs))
 	bounds := make(map[see.Algorithm]float64, len(algs))
+	tracers := make(map[see.Algorithm]*see.CountingTracer, len(algs))
+	for _, a := range algs {
+		tracers[a] = see.NewCountingTracer()
+	}
 	slotCount := 0
 	for trial := 0; trial < *trials; trial++ {
 		trialSeed := *seed + int64(trial)
@@ -66,15 +73,19 @@ func main() {
 			os.Exit(1)
 		}
 		for _, a := range algs {
-			sched, err := see.NewScheduler(a, net, sdPairs, nil)
+			opts := &see.SchedulerOptions{}
+			if *trace {
+				opts.Tracer = tracers[a]
+			}
+			sc, err := see.NewScheduler(a, net, sdPairs, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
 				os.Exit(1)
 			}
-			bounds[a] += sched.UpperBound()
+			bounds[a] += sc.UpperBound()
 			rng := xrand.ForTrial(trialSeed, 1000)
 			for s := 0; s < *slots; s++ {
-				res, err := sched.RunSlot(rng)
+				res, err := sc.RunSlot(rng)
 				if err != nil {
 					fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
 					os.Exit(1)
@@ -96,6 +107,21 @@ func main() {
 		fmt.Printf("%-6s %-18.3f %-14.3f\n",
 			a, totals[a]/float64(slotCount), bounds[a]/float64(*trials))
 	}
+	if *trace {
+		for _, a := range algs {
+			fmt.Printf("\n# %v pipeline\n%s\n", a, tracers[a])
+		}
+	}
+}
+
+// explicitFloat maps a flag value of 0 to see.ExplicitZero so that
+// "-swap 0" and "-alpha 0" override the paper default instead of
+// silently re-selecting it.
+func explicitFloat(v float64) float64 {
+	if v == 0 {
+		return see.ExplicitZero
+	}
+	return v
 }
 
 // buildInstance draws one trial's topology and demand set.
@@ -134,17 +160,21 @@ func parseTraffic(s string) (see.Traffic, error) {
 	}
 }
 
+// parseAlgs accepts "all", one scheme name, or a comma-separated list;
+// names are resolved by the scheduler layer itself, so a new scheme needs
+// no change here.
 func parseAlgs(s string) ([]see.Algorithm, error) {
-	switch strings.ToLower(s) {
-	case "all":
-		return []see.Algorithm{see.SEE, see.REPS, see.E2E}, nil
-	case "see":
-		return []see.Algorithm{see.SEE}, nil
-	case "reps":
-		return []see.Algorithm{see.REPS}, nil
-	case "e2e":
-		return []see.Algorithm{see.E2E}, nil
-	default:
-		return nil, fmt.Errorf("seesim: unknown -alg %q (want see, reps, e2e or all)", s)
+	if strings.EqualFold(strings.TrimSpace(s), "all") {
+		return append([]see.Algorithm(nil), see.Algorithms...), nil
 	}
+	parts := strings.Split(s, ",")
+	algs := make([]see.Algorithm, 0, len(parts))
+	for _, part := range parts {
+		a, err := see.ParseAlgorithm(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("seesim: -alg %q: %w; also accepted: a comma-separated list, or \"all\"", s, err)
+		}
+		algs = append(algs, a)
+	}
+	return algs, nil
 }

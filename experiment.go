@@ -13,6 +13,8 @@ type ExperimentParams struct {
 	SDPairs  int
 	Channels int
 	Memory   int
+	// SwapProb, Alpha and Delta follow the NetworkConfig convention: zero
+	// means "paper default", ExplicitZero means an actual zero.
 	SwapProb float64
 	Alpha    float64
 	Delta    float64
@@ -20,6 +22,10 @@ type ExperimentParams struct {
 	Trials int
 	// Seed drives everything; same seed, same numbers.
 	Seed int64
+	// Tracer observes every engine's slot pipeline across all trials;
+	// trials run concurrently, so it must be safe for concurrent use
+	// (CountingTracer is). nil disables instrumentation.
+	Tracer Tracer
 }
 
 // DefaultExperimentParams returns the paper's defaults with 100 trials.
@@ -52,21 +58,16 @@ func (p ExperimentParams) toInternal() experiment.Params {
 	if p.Memory > 0 {
 		in.Memory = p.Memory
 	}
-	if p.SwapProb > 0 {
-		in.SwapProb = p.SwapProb
-	}
-	if p.Alpha > 0 {
-		in.Alpha = p.Alpha
-	}
-	if p.Delta >= 0 {
-		in.Delta = p.Delta
-	}
+	in.SwapProb = overrideFloat(p.SwapProb, in.SwapProb)
+	in.Alpha = overrideFloat(p.Alpha, in.Alpha)
+	in.Delta = overrideFloat(p.Delta, in.Delta)
 	if p.Trials > 0 {
 		in.Trials = p.Trials
 	}
 	if p.Seed != 0 {
 		in.BaseSeed = p.Seed
 	}
+	in.Tracer = p.Tracer
 	return in
 }
 
@@ -91,7 +92,7 @@ func RunExperiment(p ExperimentParams) (map[Algorithm]PointResult, error) {
 	}
 	out := make(map[Algorithm]PointResult, len(res))
 	for alg, pr := range res {
-		out[mapAlg(alg)] = PointResult{
+		out[alg] = PointResult{
 			MeanThroughput: pr.Throughput.Mean,
 			CI95:           pr.Throughput.CI95,
 			Jain:           pr.Jain,
@@ -100,17 +101,6 @@ func RunExperiment(p ExperimentParams) (map[Algorithm]PointResult, error) {
 		}
 	}
 	return out, nil
-}
-
-func mapAlg(a experiment.Algorithm) Algorithm {
-	switch a {
-	case experiment.SEE:
-		return SEE
-	case experiment.REPS:
-		return REPS
-	default:
-		return E2E
-	}
 }
 
 // MotivationExample evaluates the two Fig. 2 plans analytically and returns
@@ -164,7 +154,7 @@ func Figure(id int, base ExperimentParams) (*FigureData, error) {
 	for _, pt := range sw.Points {
 		rp := make(map[Algorithm]PointResult, len(pt.Results))
 		for alg, pr := range pt.Results {
-			rp[mapAlg(alg)] = PointResult{
+			rp[alg] = PointResult{
 				MeanThroughput: pr.Throughput.Mean,
 				CI95:           pr.Throughput.CI95,
 				Jain:           pr.Jain,

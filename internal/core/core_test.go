@@ -38,8 +38,8 @@ func TestEngineSolvesLPOnce(t *testing.T) {
 	if e.LP.Objective <= 0 {
 		t.Fatalf("LP objective = %v, want > 0", e.LP.Objective)
 	}
-	if e.ExpectedUpperBound() != e.LP.Objective {
-		t.Fatal("ExpectedUpperBound must return the LP objective")
+	if e.UpperBound() != e.LP.Objective {
+		t.Fatal("UpperBound must return the LP objective")
 	}
 	if len(e.ConnCap) != 2 || e.ConnCap[0] != 1 || e.ConnCap[1] != 1 {
 		t.Fatalf("ConnCap = %v, want [1 1] (min endpoint memory)", e.ConnCap)

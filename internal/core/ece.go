@@ -40,6 +40,8 @@ func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet
 	pool := qnet.NewPool(created)
 	perPair := make([]int, len(e.Pairs))
 	var out []*qnet.Connection
+	tr := e.tracer
+	swapObs := qnet.SwapObserver(tr.SwapResolved)
 
 	// Lines 2–6: assign realized segments to provisioned paths. The pass
 	// repeats while it makes progress so that redundant segments retry a
@@ -67,7 +69,9 @@ func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet
 			}
 			attempts++
 			phaseAProgress = true
-			if conn.EstablishWithRetries(e.Net, pool, rng) {
+			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			tr.ConnectionAssembled(p.Commodity, ok)
+			if ok {
 				out = append(out, conn)
 				perPair[p.Commodity]++
 			}
@@ -124,7 +128,9 @@ func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet
 			}
 			attempts++
 			progress = true
-			if conn.EstablishWithRetries(e.Net, pool, rng) {
+			ok := conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			tr.ConnectionAssembled(i, ok)
+			if ok {
 				out = append(out, conn)
 				perPair[i]++
 			}

@@ -20,9 +20,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"time"
 
 	"see/internal/flow"
 	"see/internal/qnet"
+	"see/internal/sched"
 	"see/internal/segment"
 	"see/internal/topo"
 )
@@ -39,6 +41,12 @@ type Options struct {
 	// paths whose segments each received at least one attempt, which is
 	// strictly better in resource-starved networks.
 	StrictProvisioning bool
+	// Algorithm is the scheme label the engine reports through
+	// Engine.Algorithm and the Tracer. The zero value is sched.SEE;
+	// restricted variants built on this engine (internal/e2e) override it.
+	Algorithm sched.Algorithm
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
 }
 
 // DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
@@ -66,8 +74,11 @@ type Engine struct {
 	// ConnCap is the per-pair connection cap N_i.
 	ConnCap []int
 
-	opts Options
+	opts   Options
+	tracer sched.Tracer
 }
+
+var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine builds the candidate set and solves the LP relaxation.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -99,31 +110,8 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 		LP:      sol,
 		ConnCap: connCap,
 		opts:    opts,
+		tracer:  sched.OrNop(opts.Tracer),
 	}, nil
-}
-
-// SlotResult reports everything that happened in one time slot.
-type SlotResult struct {
-	// LPObjective is the fractional optimum (identical across slots).
-	LPObjective float64
-	// PlannedPaths is |T|: entanglement paths identified by EPI.
-	PlannedPaths int
-	// ProvisionedPaths is |D|: paths for which ESC reserved full resources.
-	ProvisionedPaths int
-	// Attempts is the total number of segment-creation attempts reserved.
-	Attempts int
-	// SegmentsCreated is how many attempts succeeded in the physical phase.
-	SegmentsCreated int
-	// Assembled counts connection-assembly attempts in ECE (each consumes
-	// one realized segment per hop; swap failures make Assembled >
-	// Established).
-	Assembled int
-	// Established is the throughput: connections whose swaps all succeeded.
-	Established int
-	// PerPair is the established count per SD pair.
-	PerPair []int
-	// Connections lists the established connections.
-	Connections []*qnet.Connection
 }
 
 // SlotPlan is the controller's decision for one time slot (steps i–ii of
@@ -151,31 +139,52 @@ func (e *Engine) PlanSlot(rng *rand.Rand) (*SlotPlan, error) {
 
 // RunSlot simulates one time slot. The rng drives EPI rounding, the
 // physical phase and swapping; a fixed rng state reproduces the slot
-// exactly.
-func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
-	res := &SlotResult{
+// exactly (tracers observe outcomes but never consume randomness).
+func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
+	tr := e.tracer
+	tr.SlotStart(e.opts.Algorithm)
+	res := &sched.SlotResult{
 		LPObjective: e.LP.Objective,
 		PerPair:     make([]int, len(e.Pairs)),
 	}
 
-	// Steps i–ii: EPI identifies entanglement paths, ESC reserves the
-	// segment-creation attempts.
-	slotPlan, err := e.PlanSlot(rng)
+	// Step i: EPI identifies entanglement paths.
+	t0 := time.Now()
+	planned := e.identifyPaths(rng)
+	res.PlannedPaths = len(planned)
+	for _, p := range planned {
+		tr.PathPlanned(p.Commodity, len(p.Hops))
+	}
+	tr.PhaseDone(sched.PhasePlan, time.Since(t0))
+
+	// Step ii: ESC reserves the segment-creation attempts.
+	t0 = time.Now()
+	plan, provisioned, err := e.createSegmentsPlan(planned)
 	if err != nil {
 		return nil, err
 	}
-	plan, provisioned := slotPlan.Attempts, slotPlan.Provisioned
-	res.PlannedPaths = len(slotPlan.Planned)
 	res.ProvisionedPaths = len(provisioned)
 	res.Attempts = plan.TotalAttempts()
+	for _, p := range provisioned {
+		tr.PathProvisioned(p.Commodity)
+	}
+	for _, c := range plan.SortedCandidates() {
+		tr.AttemptReserved(c.U(), c.V(), plan[c])
+	}
+	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
 
 	// Physical phase — attempts succeed i.i.d.
-	created := qnet.AttemptAll(plan, rng)
+	t0 = time.Now()
+	created := qnet.AttemptAllObserved(plan, rng, func(c *segment.Candidate, ok bool) {
+		tr.AttemptResolved(c.U(), c.V(), ok)
+	})
 	res.SegmentsCreated = len(created)
+	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 
 	// Steps iii–iv: ECE assembles connections from realized segments,
 	// sampling swaps as it goes; failed swaps consume segments but spare
 	// (redundant) segments allow further attempts.
+	t0 = time.Now()
 	conns, attempts := e.establishConnections(provisioned, created, rng)
 	res.Assembled = attempts
 
@@ -187,9 +196,15 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
 		res.PerPair[c.Pair]++
 		res.Connections = append(res.Connections, c)
 	}
+	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
+	tr.SlotEnd(res)
 	return res, nil
 }
 
-// ExpectedUpperBound returns the LP objective, an upper bound on the
-// expected number of connections SEE can establish per slot.
-func (e *Engine) ExpectedUpperBound() float64 { return e.LP.Objective }
+// Algorithm returns the scheme label (sched.SEE unless overridden by
+// Options.Algorithm, e.g. by the E2E restriction).
+func (e *Engine) Algorithm() sched.Algorithm { return e.opts.Algorithm }
+
+// UpperBound returns the LP objective, an upper bound on the expected
+// number of connections SEE can establish per slot.
+func (e *Engine) UpperBound() float64 { return e.LP.Objective }

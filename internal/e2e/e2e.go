@@ -10,6 +10,7 @@ import (
 	"math/rand"
 
 	"see/internal/core"
+	"see/internal/sched"
 	"see/internal/topo"
 )
 
@@ -21,12 +22,16 @@ type Options struct {
 	// stronger scheme than the one the paper compares against; see the
 	// ablation bench).
 	KPaths int
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
 }
 
 // Engine runs E2E time slots.
 type Engine struct {
 	inner *core.Engine
 }
+
+var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine builds the E2E baseline over the network.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -37,6 +42,8 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	if opts.KPaths > 0 {
 		coreOpts.Segment.KPaths = opts.KPaths
 	}
+	coreOpts.Algorithm = sched.E2E
+	coreOpts.Tracer = opts.Tracer
 	inner, err := core.NewEngine(net, pairs, coreOpts)
 	if err != nil {
 		return nil, err
@@ -45,12 +52,15 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 }
 
 // RunSlot simulates one time slot.
-func (e *Engine) RunSlot(rng *rand.Rand) (*core.SlotResult, error) {
+func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	return e.inner.RunSlot(rng)
 }
 
-// ExpectedUpperBound returns the LP bound of the restricted model.
-func (e *Engine) ExpectedUpperBound() float64 { return e.inner.ExpectedUpperBound() }
+// Algorithm identifies the scheme.
+func (e *Engine) Algorithm() sched.Algorithm { return sched.E2E }
+
+// UpperBound returns the LP bound of the restricted model.
+func (e *Engine) UpperBound() float64 { return e.inner.UpperBound() }
 
 // Core exposes the underlying engine for diagnostics.
 func (e *Engine) Core() *core.Engine { return e.inner }

@@ -1,0 +1,87 @@
+// Package engines is the single construction point for the slot-pipeline
+// engines: it maps a sched.Algorithm to the package implementing it
+// (internal/core, internal/reps, internal/e2e) and translates the shared
+// Config into each engine's options. Both the public API (package see) and
+// the experiment harness build engines here, so no algorithm type-switch
+// exists anywhere else.
+package engines
+
+import (
+	"errors"
+	"fmt"
+
+	"see/internal/core"
+	"see/internal/e2e"
+	"see/internal/reps"
+	"see/internal/sched"
+	"see/internal/topo"
+)
+
+// Config tunes an engine; the zero value selects paper defaults for every
+// scheme.
+type Config struct {
+	// KPaths is the Yen candidate-path budget per SD pair (0 = default:
+	// 5 for SEE/REPS, 1 for E2E).
+	KPaths int
+	// MaxSegmentHops caps physical hops per entanglement segment for SEE
+	// (0 = default 10).
+	MaxSegmentHops int
+	// MinSegmentProb prunes low-probability candidate segments for SEE
+	// (0 = default 0.05).
+	MinSegmentProb float64
+	// StrictProvisioning switches SEE's ESC to the paper-literal
+	// Algorithm 2 (see core.Options).
+	StrictProvisioning bool
+	// PlainObjective disables the swap-survival weighting of the LP
+	// objective (ablation; see flow.Options.SwapWeightedObjective).
+	PlainObjective bool
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
+}
+
+// Builder constructs one scheme's engine.
+type Builder func(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error)
+
+// builders is the algorithm registry.
+var builders = map[sched.Algorithm]Builder{
+	sched.SEE:  newSEE,
+	sched.REPS: newREPS,
+	sched.E2E:  newE2E,
+}
+
+// New builds the engine for the given algorithm.
+func New(alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	if net == nil {
+		return nil, errors.New("engines: nil network")
+	}
+	b, ok := builders[alg]
+	if !ok {
+		return nil, fmt.Errorf("engines: unknown algorithm %v", alg)
+	}
+	return b(net, pairs, cfg)
+}
+
+func newSEE(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	co := core.DefaultOptions()
+	if cfg.KPaths > 0 {
+		co.Segment.KPaths = cfg.KPaths
+	}
+	if cfg.MaxSegmentHops > 0 {
+		co.Segment.MaxSegmentHops = cfg.MaxSegmentHops
+	}
+	if cfg.MinSegmentProb > 0 {
+		co.Segment.MinProb = cfg.MinSegmentProb
+	}
+	co.StrictProvisioning = cfg.StrictProvisioning
+	co.Flow.SwapWeightedObjective = !cfg.PlainObjective
+	co.Tracer = cfg.Tracer
+	return core.NewEngine(net, pairs, co)
+}
+
+func newREPS(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return reps.NewEngine(net, pairs, reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer})
+}
+
+func newE2E(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return e2e.NewEngine(net, pairs, e2e.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer})
+}

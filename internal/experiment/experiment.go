@@ -10,44 +10,28 @@ package experiment
 
 import (
 	"fmt"
-	"math/rand"
 	"runtime"
 	"sync"
 
-	"see/internal/core"
-	"see/internal/e2e"
+	"see/internal/engines"
 	"see/internal/metrics"
-	"see/internal/reps"
+	"see/internal/sched"
 	"see/internal/topo"
 	"see/internal/xrand"
 )
 
-// Algorithm selects a scheduler.
-type Algorithm int
+// Algorithm selects a scheduler; it is the canonical sched.Algorithm.
+type Algorithm = sched.Algorithm
 
 // The three schemes compared in the paper.
 const (
-	SEE Algorithm = iota
-	REPS
-	E2E
+	SEE  = sched.SEE
+	REPS = sched.REPS
+	E2E  = sched.E2E
 )
 
 // Algorithms lists all schemes in display order.
-var Algorithms = []Algorithm{SEE, REPS, E2E}
-
-// String implements fmt.Stringer.
-func (a Algorithm) String() string {
-	switch a {
-	case SEE:
-		return "SEE"
-	case REPS:
-		return "REPS"
-	case E2E:
-		return "E2E"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
+var Algorithms = sched.Algorithms
 
 // Params describes one simulation configuration (defaults follow §IV-A).
 type Params struct {
@@ -73,6 +57,11 @@ type Params struct {
 	// GOMAXPROCS. Trials are seeded independently, so the results are
 	// identical to a serial run regardless of scheduling.
 	Workers int
+	// Tracer observes every engine's slot pipeline across all trials and
+	// algorithms. Trials run concurrently, so the implementation must be
+	// safe for concurrent use (sched.CountingTracer is). nil disables
+	// instrumentation.
+	Tracer sched.Tracer
 }
 
 // DefaultParams returns the paper's default setting.
@@ -103,67 +92,15 @@ func (p Params) topoConfig() topo.Config {
 	return cfg
 }
 
-// scheduler is the minimal per-slot interface the harness needs.
-type scheduler interface {
-	run(rng *rand.Rand) (established int, perPair []int, err error)
-}
-
-type seeSched struct{ e *core.Engine }
-
-func (s seeSched) run(rng *rand.Rand) (int, []int, error) {
-	res, err := s.e.RunSlot(rng)
-	if err != nil {
-		return 0, nil, err
-	}
-	return res.Established, res.PerPair, nil
-}
-
-type repsSched struct{ e *reps.Engine }
-
-func (s repsSched) run(rng *rand.Rand) (int, []int, error) {
-	res, err := s.e.RunSlot(rng)
-	if err != nil {
-		return 0, nil, err
-	}
-	return res.Established, res.PerPair, nil
-}
-
-type e2eSched struct{ e *e2e.Engine }
-
-func (s e2eSched) run(rng *rand.Rand) (int, []int, error) {
-	res, err := s.e.RunSlot(rng)
-	if err != nil {
-		return 0, nil, err
-	}
-	return res.Established, res.PerPair, nil
-}
-
-func (p Params) build(alg Algorithm, net *topo.Network, pairs []topo.SDPair) (scheduler, error) {
-	switch alg {
-	case SEE:
-		opts := core.DefaultOptions()
-		opts.Segment.KPaths = p.KPaths
-		opts.Segment.MaxSegmentHops = p.MaxSegmentHops
-		opts.StrictProvisioning = p.StrictProvisioning
-		e, err := core.NewEngine(net, pairs, opts)
-		if err != nil {
-			return nil, err
-		}
-		return seeSched{e}, nil
-	case REPS:
-		e, err := reps.NewEngine(net, pairs, reps.Options{KPaths: p.KPaths})
-		if err != nil {
-			return nil, err
-		}
-		return repsSched{e}, nil
-	case E2E:
-		e, err := e2e.NewEngine(net, pairs, e2e.Options{KPaths: p.KPaths})
-		if err != nil {
-			return nil, err
-		}
-		return e2eSched{e}, nil
-	default:
-		return nil, fmt.Errorf("experiment: unknown algorithm %v", alg)
+// engineConfig translates the harness parameters into the shared engine
+// configuration; the same config drives all three schemes, so every trial
+// builds its engines through the one internal/engines factory.
+func (p Params) engineConfig() engines.Config {
+	return engines.Config{
+		KPaths:             p.KPaths,
+		MaxSegmentHops:     p.MaxSegmentHops,
+		StrictProvisioning: p.StrictProvisioning,
+		Tracer:             p.Tracer,
 	}
 }
 
@@ -262,21 +199,22 @@ func (p Params) runTrial(trial int) trialOutcome {
 		return oc
 	}
 	pairs := topo.ChooseSDPairs(net, p.SDPairs, pairRng)
+	cfg := p.engineConfig()
 	for _, alg := range Algorithms {
 		slotRng := xrand.Split(rng)
-		sched, err := p.build(alg, net, pairs)
+		eng, err := engines.New(alg, net, pairs, cfg)
 		if err != nil {
 			oc.err = fmt.Errorf("%v: %w", alg, err)
 			return oc
 		}
-		established, perPair, err := sched.run(slotRng)
+		res, err := eng.RunSlot(slotRng)
 		if err != nil {
 			oc.err = fmt.Errorf("%v: %w", alg, err)
 			return oc
 		}
-		oc.established[alg] = float64(established)
-		pp := make([]float64, len(perPair))
-		for i, c := range perPair {
+		oc.established[alg] = float64(res.Established)
+		pp := make([]float64, len(res.PerPair))
+		for i, c := range res.PerPair {
 			pp[i] = float64(c)
 		}
 		oc.perPair[alg] = pp

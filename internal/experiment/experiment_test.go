@@ -4,6 +4,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"see/internal/sched"
 )
 
 // smallParams keeps tests fast while exercising the full pipeline.
@@ -142,6 +144,37 @@ func TestFigureRunnersSmoke(t *testing.T) {
 		if len(sw.Points) < 2 {
 			t.Fatalf("%s: too few points", r.name)
 		}
+	}
+}
+
+// A tracer shared across the harness's trial workers must survive the race
+// detector and see every algorithm's slots, without perturbing results.
+func TestRunPointSharedTracer(t *testing.T) {
+	p := smallParams()
+	p.Trials = 6
+	p.Workers = 4
+	bare, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := sched.NewCountingTracer()
+	p.Tracer = tr
+	traced, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Algorithms {
+		if bare[alg].Throughput.Mean != traced[alg].Throughput.Mean {
+			t.Fatalf("%v: tracer changed results: %v vs %v",
+				alg, bare[alg].Throughput.Mean, traced[alg].Throughput.Mean)
+		}
+	}
+	c := tr.Counts()
+	if want := p.Trials * len(Algorithms); c.Slots != want {
+		t.Fatalf("Slots = %d, want %d", c.Slots, want)
+	}
+	if c.AttemptsResolved == 0 || c.AttemptsReserved != c.AttemptsResolved {
+		t.Fatalf("attempt events inconsistent: %+v", c)
 	}
 }
 

@@ -50,13 +50,12 @@ func (p AttemptPlan) ExpectedSegments() float64 {
 	return total
 }
 
-// AttemptAll performs the physical phase: every reserved attempt succeeds
-// independently with its candidate's probability. The result is sorted
-// deterministically (by endpoint pair, then candidate path) so a fixed rng
-// yields a fixed outcome regardless of map iteration order.
-func AttemptAll(plan AttemptPlan, rng *rand.Rand) []*Segment {
-	cands := make([]*segment.Candidate, 0, len(plan))
-	for c := range plan {
+// SortedCandidates returns the plan's candidates in the deterministic
+// order the physical phase resolves them: by endpoint pair, then candidate
+// path.
+func (p AttemptPlan) SortedCandidates() []*segment.Candidate {
+	cands := make([]*segment.Candidate, 0, len(p))
+	for c := range p {
 		cands = append(cands, c)
 	}
 	sort.Slice(cands, func(i, j int) bool {
@@ -69,11 +68,33 @@ func AttemptAll(plan AttemptPlan, rng *rand.Rand) []*Segment {
 		}
 		return topo.Key(a.Path) < topo.Key(b.Path)
 	})
+	return cands
+}
+
+// AttemptObserver is notified of each physical creation attempt's outcome.
+type AttemptObserver func(c *segment.Candidate, created bool)
+
+// AttemptAll performs the physical phase: every reserved attempt succeeds
+// independently with its candidate's probability. The result is sorted
+// deterministically (by endpoint pair, then candidate path) so a fixed rng
+// yields a fixed outcome regardless of map iteration order.
+func AttemptAll(plan AttemptPlan, rng *rand.Rand) []*Segment {
+	return AttemptAllObserved(plan, rng, nil)
+}
+
+// AttemptAllObserved is AttemptAll with a per-attempt observer (may be
+// nil). The observer sees attempts in the same deterministic order and
+// does not affect the rng stream.
+func AttemptAllObserved(plan AttemptPlan, rng *rand.Rand, obs AttemptObserver) []*Segment {
 	var out []*Segment
-	for _, c := range cands {
+	for _, c := range plan.SortedCandidates() {
 		for k := 0; k < plan[c]; k++ {
-			if xrand.Bernoulli(rng, c.Prob) {
+			created := xrand.Bernoulli(rng, c.Prob)
+			if created {
 				out = append(out, &Segment{A: c.U(), B: c.V(), Cand: c})
+			}
+			if obs != nil {
+				obs(c, created)
 			}
 		}
 	}
@@ -216,12 +237,25 @@ func (c *Connection) SuccessProb(net *topo.Network) float64 {
 // whether every junction eventually succeeded; on failure all consumed
 // segments stay consumed (the photons are gone either way).
 func (c *Connection) EstablishWithRetries(net *topo.Network, pool *Pool, rng *rand.Rand) bool {
+	return c.EstablishWithRetriesObserved(net, pool, rng, nil)
+}
+
+// SwapObserver is notified of each sampled quantum swap's outcome.
+type SwapObserver func(junction int, ok bool)
+
+// EstablishWithRetriesObserved is EstablishWithRetries with a per-swap
+// observer (may be nil); the observer does not affect the rng stream.
+func (c *Connection) EstablishWithRetriesObserved(net *topo.Network, pool *Pool, rng *rand.Rand, obs SwapObserver) bool {
 	for i := 1; i+1 < len(c.Nodes); i++ {
 		junction := c.Nodes[i]
 		left := segment.MakePairKey(c.Nodes[i-1], c.Nodes[i])
 		right := segment.MakePairKey(c.Nodes[i], c.Nodes[i+1])
 		for {
-			if xrand.Bernoulli(rng, net.SwapProb[junction]) {
+			ok := xrand.Bernoulli(rng, net.SwapProb[junction])
+			if obs != nil {
+				obs(junction, ok)
+			}
+			if ok {
 				break
 			}
 			// Swap failed: the segments on both sides of the junction are

@@ -18,10 +18,12 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"see/internal/flow"
 	"see/internal/graph"
 	"see/internal/qnet"
+	"see/internal/sched"
 	"see/internal/segment"
 	"see/internal/topo"
 )
@@ -35,6 +37,8 @@ type Options struct {
 	RoundingSolves int
 	// Flow tunes the underlying LP solves.
 	Flow flow.Options
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -62,18 +66,11 @@ type Engine struct {
 	// ConnCap is the per-pair connection cap.
 	ConnCap []int
 
-	opts Options
+	opts   Options
+	tracer sched.Tracer
 }
 
-// SlotResult reports one REPS time slot.
-type SlotResult struct {
-	LPObjective  float64
-	Attempts     int
-	LinksCreated int
-	Established  int
-	PerPair      []int
-	Connections  []*qnet.Connection
-}
+var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine provisions entanglement links for the workload.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -99,7 +96,7 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 			connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
 		}
 	}
-	e := &Engine{Net: net, Pairs: pairs, Set: set, ConnCap: connCap, opts: opts}
+	e := &Engine{Net: net, Pairs: pairs, Set: set, ConnCap: connCap, opts: opts, tracer: sched.OrNop(opts.Tracer)}
 	if err := e.provision(); err != nil {
 		return nil, err
 	}
@@ -251,17 +248,36 @@ func fractionalAttempts(net *topo.Network, sol *flow.Solution) []fracAttempt {
 }
 
 // RunSlot simulates one time slot: attempt the provisioned links, then
-// select entanglement paths on the realized link graph (EPS).
-func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
-	res := &SlotResult{
+// select entanglement paths on the realized link graph (EPS). The
+// provisioning plan is fixed at construction, so the per-slot reserve
+// phase just re-commits it (and reports it through the tracer);
+// PlannedPaths and ProvisionedPaths stay zero — REPS plans links, not
+// entanglement paths.
+func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
+	tr := e.tracer
+	tr.SlotStart(sched.REPS)
+	res := &sched.SlotResult{
 		LPObjective: e.LPObjective,
 		Attempts:    e.Plan.TotalAttempts(),
 		PerPair:     make([]int, len(e.Pairs)),
 	}
-	created := qnet.AttemptAll(e.Plan, rng)
-	res.LinksCreated = len(created)
 
-	conns := e.SelectPaths(created, rng)
+	t0 := time.Now()
+	for _, c := range e.Plan.SortedCandidates() {
+		tr.AttemptReserved(c.U(), c.V(), e.Plan[c])
+	}
+	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
+
+	t0 = time.Now()
+	created := qnet.AttemptAllObserved(e.Plan, rng, func(c *segment.Candidate, ok bool) {
+		tr.AttemptResolved(c.U(), c.V(), ok)
+	})
+	res.SegmentsCreated = len(created)
+	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
+
+	t0 = time.Now()
+	conns, assembled := e.selectPaths(created, rng)
+	res.Assembled = assembled
 	for _, c := range conns {
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("reps: invalid connection: %w", err)
@@ -270,6 +286,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
 		res.PerPair[c.Pair]++
 		res.Connections = append(res.Connections, c)
 	}
+	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
+	tr.SlotEnd(res)
 	return res, nil
 }
 
@@ -280,6 +298,17 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*SlotResult, error) {
 // eligible, so redundant links back up failed swaps (see the matching note
 // on ECE in internal/core).
 func (e *Engine) SelectPaths(created []*qnet.Segment, rng *rand.Rand) []*qnet.Connection {
+	conns, _ := e.selectPaths(created, rng)
+	return conns
+}
+
+// selectPaths is SelectPaths plus the number of assembly attempts (each
+// consumes one realized link per hop; swap failures make attempts exceed
+// the established count).
+func (e *Engine) selectPaths(created []*qnet.Segment, rng *rand.Rand) ([]*qnet.Connection, int) {
+	tr := e.tracer
+	swapObs := qnet.SwapObserver(tr.SwapResolved)
+	attempts := 0
 	pool := qnet.NewPool(created)
 	aux := graph.New(e.Net.NumNodes())
 	pairsWith := pool.Pairs()
@@ -333,16 +362,22 @@ func (e *Engine) SelectPaths(created []*qnet.Segment, rng *rand.Rand) []*qnet.Co
 				continue
 			}
 			progress = true
-			if conn.EstablishWithRetries(e.Net, pool, rng) {
+			attempts++
+			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			tr.ConnectionAssembled(i, ok)
+			if ok {
 				out = append(out, conn)
 				perPair[i]++
 			}
 		}
 		if !progress {
-			return out
+			return out, attempts
 		}
 	}
 }
 
-// ExpectedUpperBound returns the provisioning LP optimum.
-func (e *Engine) ExpectedUpperBound() float64 { return e.LPObjective }
+// Algorithm identifies the scheme.
+func (e *Engine) Algorithm() sched.Algorithm { return sched.REPS }
+
+// UpperBound returns the provisioning LP optimum.
+func (e *Engine) UpperBound() float64 { return e.LPObjective }

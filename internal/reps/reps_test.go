@@ -86,10 +86,10 @@ func TestRunSlotDeterministicAndSane(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Established != b.Established || a.LinksCreated != b.LinksCreated {
+	if a.Established != b.Established || a.SegmentsCreated != b.SegmentsCreated {
 		t.Fatal("REPS slot not deterministic")
 	}
-	if a.LinksCreated > a.Attempts {
+	if a.SegmentsCreated > a.Attempts {
 		t.Fatal("created > attempts")
 	}
 	sum := 0

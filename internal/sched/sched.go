@@ -1,0 +1,119 @@
+// Package sched defines the common slot pipeline shared by every
+// entanglement-establishment engine in the repository. All three schemes
+// of the paper's evaluation (SEE, REPS, E2E) run the same four conceptual
+// phases each time slot:
+//
+//	plan     — identify entanglement paths (EPI / LP rounding)
+//	reserve  — reserve channels and memory for creation attempts (ESC /
+//	           REPS provisioning)
+//	physical — perform the stochastic segment-creation attempts
+//	stitch   — assemble realized segments into connections and sample the
+//	           quantum swaps (ECE / EPS)
+//
+// The package gives them one Engine interface, one canonical SlotResult,
+// and a Tracer hook with per-phase callbacks so callers can observe where
+// throughput is lost (attempts reserved vs. segments created vs. swaps
+// survived) without reaching into engine internals. Engines live in
+// internal/core, internal/reps and internal/e2e; the factory that builds
+// one by Algorithm is internal/engines.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"see/internal/qnet"
+)
+
+// Algorithm identifies an entanglement-establishment scheme.
+type Algorithm int
+
+// The schemes compared in the paper's evaluation (§IV).
+const (
+	// SEE integrates all-optical switching with quantum swapping (the
+	// paper's contribution).
+	SEE Algorithm = iota
+	// REPS uses entanglement links only (Zhao & Qiao, INFOCOM 2021).
+	REPS
+	// E2E uses all-optical switching only: one segment per connection.
+	E2E
+)
+
+// Algorithms lists all schemes in display order.
+var Algorithms = []Algorithm{SEE, REPS, E2E}
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case SEE:
+		return "SEE"
+	case REPS:
+		return "REPS"
+	case E2E:
+		return "E2E"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// ParseAlgorithm maps a case-insensitive scheme name ("see", "reps",
+// "e2e") to its Algorithm.
+func ParseAlgorithm(s string) (Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "see":
+		return SEE, nil
+	case "reps":
+		return REPS, nil
+	case "e2e":
+		return E2E, nil
+	default:
+		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps or e2e)", s)
+	}
+}
+
+// SlotResult is the canonical report of one simulated time slot, shared by
+// every engine. Phases an engine does not run per slot leave their fields
+// zero (REPS provisions once at construction, so it reports
+// PlannedPaths = ProvisionedPaths = 0).
+type SlotResult struct {
+	// LPObjective is the engine's fractional planning optimum (identical
+	// across slots; also exposed as Engine.UpperBound).
+	LPObjective float64
+	// PlannedPaths is |T|: entanglement paths identified by the plan phase.
+	PlannedPaths int
+	// ProvisionedPaths is |D|: paths for which the reserve phase secured
+	// full resources.
+	ProvisionedPaths int
+	// Attempts is the total number of segment-creation attempts reserved.
+	Attempts int
+	// SegmentsCreated is how many attempts succeeded in the physical phase
+	// (for REPS these are entanglement links, i.e. single-hop segments).
+	SegmentsCreated int
+	// Assembled counts connection-assembly attempts in the stitch phase
+	// (each consumes one realized segment per hop; swap failures make
+	// Assembled > Established).
+	Assembled int
+	// Established is the throughput: connections whose swaps all succeeded.
+	Established int
+	// PerPair is the established count per SD pair.
+	PerPair []int
+	// Connections lists the established connections.
+	Connections []*qnet.Connection
+}
+
+// Engine runs time slots of one entanglement-establishment scheme over a
+// fixed network and demand set. All engines are deterministic functions of
+// the rng state passed to RunSlot.
+type Engine interface {
+	// Algorithm identifies the scheme.
+	Algorithm() Algorithm
+	// RunSlot simulates one time slot; the rng drives all stochastic
+	// outcomes, so a fixed generator state reproduces the slot.
+	RunSlot(rng *rand.Rand) (*SlotResult, error)
+	// UpperBound returns the engine's LP planning value. For the default
+	// swap-survival-weighted objective this bounds the expected
+	// single-pass throughput; retry-based establishment (backed by
+	// redundant segments) can deliver somewhat more.
+	UpperBound() float64
+}

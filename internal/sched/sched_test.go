@@ -1,0 +1,98 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseAlgorithm(t *testing.T) {
+	cases := map[string]Algorithm{
+		"see": SEE, "SEE": SEE, "See": SEE,
+		"reps": REPS, "REPS": REPS,
+		"e2e": E2E, "E2E": E2E,
+	}
+	for in, want := range cases {
+		got, err := ParseAlgorithm(in)
+		if err != nil || got != want {
+			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "qpass", "all"} {
+		if _, err := ParseAlgorithm(bad); err == nil {
+			t.Errorf("ParseAlgorithm(%q) accepted", bad)
+		}
+	}
+	for _, a := range Algorithms {
+		back, err := ParseAlgorithm(a.String())
+		if err != nil || back != a {
+			t.Errorf("round trip %v -> %q -> %v, %v", a, a.String(), back, err)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhasePlan: "plan", PhaseReserve: "reserve",
+		PhasePhysical: "physical", PhaseStitch: "stitch",
+	}
+	if len(want) != NumPhases {
+		t.Fatalf("test covers %d phases, NumPhases = %d", len(want), NumPhases)
+	}
+	for ph, s := range want {
+		if ph.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(ph), ph.String(), s)
+		}
+	}
+}
+
+func TestCountingTracer(t *testing.T) {
+	var tr CountingTracer // zero value must be usable
+	tr.SlotStart(SEE)
+	tr.PathPlanned(0, 2)
+	tr.PathPlanned(1, 1)
+	tr.PathProvisioned(0)
+	tr.AttemptReserved(0, 1, 3)
+	tr.AttemptResolved(0, 1, true)
+	tr.AttemptResolved(0, 1, false)
+	tr.SwapResolved(1, true)
+	tr.ConnectionAssembled(0, true)
+	tr.PhaseDone(PhasePlan, 2*time.Millisecond)
+	tr.SlotEnd(&SlotResult{Established: 1})
+
+	c := tr.Counts()
+	if c.Slots != 1 || c.PathsPlanned != 2 || c.PathsProvisioned != 1 {
+		t.Errorf("path counts wrong: %+v", c)
+	}
+	if c.AttemptsReserved != 3 || c.AttemptsResolved != 2 ||
+		c.SegmentsCreated != 1 || c.AttemptsFailed != 1 {
+		t.Errorf("attempt counts wrong: %+v", c)
+	}
+	if c.SwapsResolved != 1 || c.SwapsSucceeded != 1 ||
+		c.ConnectionsAssembled != 1 || c.ConnectionsEstablished != 1 ||
+		c.Established != 1 {
+		t.Errorf("stitch counts wrong: %+v", c)
+	}
+	if s := tr.PhaseLatency(PhasePlan); s.N != 1 {
+		t.Errorf("PhaseLatency(plan).N = %d, want 1", s.N)
+	}
+	if tr.String() == "" {
+		t.Error("String() empty")
+	}
+	tr.Reset()
+	if c := tr.Counts(); c != (TracerCounts{}) {
+		t.Errorf("Reset left counts %+v", c)
+	}
+	if s := tr.PhaseLatency(PhasePlan); s.N != 0 {
+		t.Error("Reset left latency samples")
+	}
+}
+
+func TestOrNop(t *testing.T) {
+	if _, ok := OrNop(nil).(NopTracer); !ok {
+		t.Error("OrNop(nil) is not NopTracer")
+	}
+	ct := NewCountingTracer()
+	if OrNop(ct) != Tracer(ct) {
+		t.Error("OrNop must pass through non-nil tracers")
+	}
+}

@@ -17,44 +17,28 @@ package see
 
 import (
 	"errors"
-	"fmt"
 	"io"
-	"math/rand"
 
-	"see/internal/core"
-	"see/internal/e2e"
-	"see/internal/reps"
+	"see/internal/engines"
+	"see/internal/sched"
 	"see/internal/topo"
 	"see/internal/xrand"
 )
 
-// Algorithm selects an entanglement-establishment scheme.
-type Algorithm int
+// Algorithm selects an entanglement-establishment scheme. It is the
+// canonical sched.Algorithm shared by every layer of the simulator.
+type Algorithm = sched.Algorithm
 
 // The schemes compared in the paper's evaluation.
 const (
 	// SEE integrates all-optical switching with quantum swapping
 	// (the paper's contribution).
-	SEE Algorithm = iota
+	SEE = sched.SEE
 	// REPS uses entanglement links only (Zhao & Qiao, INFOCOM 2021).
-	REPS
+	REPS = sched.REPS
 	// E2E uses all-optical switching only: one segment per connection.
-	E2E
+	E2E = sched.E2E
 )
-
-// String implements fmt.Stringer.
-func (a Algorithm) String() string {
-	switch a {
-	case SEE:
-		return "SEE"
-	case REPS:
-		return "REPS"
-	case E2E:
-		return "E2E"
-	default:
-		return fmt.Sprintf("Algorithm(%d)", int(a))
-	}
-}
 
 // NetworkConfig mirrors the evaluation parameters of §IV-A.
 type NetworkConfig struct {
@@ -67,10 +51,13 @@ type NetworkConfig struct {
 	// Memory units per node (default 10).
 	Memory int
 	// SwapProb is the quantum swapping success probability q (default 0.9).
+	// Zero means "use the default"; set ExplicitZero for an actual q = 0.
 	SwapProb float64
 	// Alpha is the attenuation in p = e^(−αl) + δ (default 2e-4).
+	// Zero means "use the default"; set ExplicitZero for an actual α = 0.
 	Alpha float64
 	// Delta is the half-width of the uniform noise δ (default 0.05).
+	// Zero means "use the default"; set ExplicitZero for an actual δ = 0.
 	Delta float64
 }
 
@@ -88,6 +75,27 @@ func DefaultNetworkConfig() NetworkConfig {
 	}
 }
 
+// ExplicitZero marks a NetworkConfig field as "explicitly zero". The zero
+// value of SwapProb, Alpha and Delta means "use the paper default" (so
+// sparse literals like NetworkConfig{Nodes: 50} keep working); assigning
+// ExplicitZero — or any negative value — requests an actual zero, e.g.
+// perfect swapping ablations (SwapProb stays default, q=0 kills every swap)
+// or a noise-free success model (Alpha=0 ⇒ p=1+δ clamp, Delta=0 ⇒ no noise).
+const ExplicitZero = -1
+
+// overrideFloat resolves the unset / default / explicit-zero convention:
+// 0 keeps def, ExplicitZero (any negative) means an actual 0.
+func overrideFloat(v, def float64) float64 {
+	switch {
+	case v < 0:
+		return 0
+	case v > 0:
+		return v
+	default:
+		return def
+	}
+}
+
 func (c NetworkConfig) toTopo() topo.Config {
 	t := topo.DefaultConfig()
 	if c.Nodes > 0 {
@@ -102,15 +110,9 @@ func (c NetworkConfig) toTopo() topo.Config {
 	if c.Memory > 0 {
 		t.Memory = c.Memory
 	}
-	if c.SwapProb > 0 {
-		t.SwapProb = c.SwapProb
-	}
-	if c.Alpha > 0 {
-		t.Alpha = c.Alpha
-	}
-	if c.Delta >= 0 {
-		t.Delta = c.Delta
-	}
+	t.SwapProb = overrideFloat(c.SwapProb, t.SwapProb)
+	t.Alpha = overrideFloat(c.Alpha, t.Alpha)
+	t.Delta = overrideFloat(c.Delta, t.Delta)
 	return t
 }
 
@@ -195,37 +197,58 @@ type SchedulerOptions struct {
 	// PlainObjective disables the swap-survival weighting of the LP
 	// objective (ablation; see flow.Options.SwapWeightedObjective).
 	PlainObjective bool
+	// Tracer observes the slot pipeline phases (planning, reservation,
+	// physical attempts, stitching); nil disables instrumentation. Attach
+	// a *CountingTracer to collect phase-event counts and latencies.
+	Tracer Tracer
 }
 
-// SlotResult reports one simulated time slot.
-type SlotResult struct {
-	// Established is the throughput: entanglement connections completed
-	// this slot (each teleports exactly one data qubit).
-	Established int
-	// PerPair breaks Established down by SD pair.
-	PerPair []int
-	// Attempts is the number of segment-creation attempts reserved.
-	Attempts int
-	// SegmentsCreated counts attempts that succeeded.
-	SegmentsCreated int
-}
+// SlotResult reports one simulated time slot. It is the canonical
+// sched.SlotResult every engine returns — see that type for the full
+// pipeline breakdown (planned/provisioned paths, attempts, segments,
+// assembly attempts, established connections).
+type SlotResult = sched.SlotResult
 
 // Scheduler runs time slots of one entanglement-establishment scheme over
-// a fixed network and demand set.
-type Scheduler interface {
-	// Algorithm identifies the scheme.
-	Algorithm() Algorithm
-	// RunSlot simulates one time slot; the rng drives all stochastic
-	// outcomes, so a fixed generator state reproduces the slot.
-	RunSlot(rng *rand.Rand) (*SlotResult, error)
-	// UpperBound returns the scheduler's LP planning value. For the
-	// default swap-survival-weighted objective this bounds the expected
-	// single-pass throughput; retry-based establishment (backed by
-	// redundant segments) can deliver somewhat more.
-	UpperBound() float64
-}
+// a fixed network and demand set. It is the canonical sched.Engine
+// interface implemented by all three engine stacks.
+type Scheduler = sched.Engine
+
+// Tracer observes the slot pipeline with per-phase callbacks; see
+// sched.Tracer for the full contract. Implementations must not mutate
+// engine state and never consume randomness.
+type Tracer = sched.Tracer
+
+// Phase identifies one stage of the slot pipeline observed by a Tracer.
+type Phase = sched.Phase
+
+// The pipeline phases in execution order: EPI planning, ESC reservation,
+// the stochastic physical phase, and ECE stitching.
+const (
+	PhasePlan     = sched.PhasePlan
+	PhaseReserve  = sched.PhaseReserve
+	PhasePhysical = sched.PhasePhysical
+	PhaseStitch   = sched.PhaseStitch
+)
+
+// CountingTracer is a concurrency-safe Tracer that tallies phase events
+// and records per-phase latencies; its zero value is ready to use.
+type CountingTracer = sched.CountingTracer
+
+// NewCountingTracer returns an empty CountingTracer.
+func NewCountingTracer() *CountingTracer { return sched.NewCountingTracer() }
+
+// ParseAlgorithm parses a case-insensitive algorithm name ("see", "reps",
+// "e2e").
+func ParseAlgorithm(s string) (Algorithm, error) { return sched.ParseAlgorithm(s) }
+
+// Algorithms lists all schemes in display order.
+var Algorithms = sched.Algorithms
 
 // NewScheduler builds a scheduler for the given algorithm. opts may be nil.
+// All three schemes are constructed through the shared internal/engines
+// factory, so a scheduler built here behaves identically to one driven by
+// the experiment harness.
 func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOptions) (Scheduler, error) {
 	if net == nil {
 		return nil, errors.New("see: nil network")
@@ -238,91 +261,14 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 	if opts != nil {
 		o = *opts
 	}
-	switch alg {
-	case SEE:
-		co := core.DefaultOptions()
-		if o.KPaths > 0 {
-			co.Segment.KPaths = o.KPaths
-		}
-		if o.MaxSegmentHops > 0 {
-			co.Segment.MaxSegmentHops = o.MaxSegmentHops
-		}
-		if o.MinSegmentProb > 0 {
-			co.Segment.MinProb = o.MinSegmentProb
-		}
-		co.StrictProvisioning = o.StrictProvisioning
-		co.Flow.SwapWeightedObjective = !o.PlainObjective
-		eng, err := core.NewEngine(net.inner, raw, co)
-		if err != nil {
-			return nil, err
-		}
-		return &seeScheduler{eng: eng}, nil
-	case REPS:
-		eng, err := reps.NewEngine(net.inner, raw, reps.Options{KPaths: o.KPaths})
-		if err != nil {
-			return nil, err
-		}
-		return &repsScheduler{eng: eng}, nil
-	case E2E:
-		eng, err := e2e.NewEngine(net.inner, raw, e2e.Options{KPaths: o.KPaths})
-		if err != nil {
-			return nil, err
-		}
-		return &e2eScheduler{eng: eng}, nil
-	default:
-		return nil, fmt.Errorf("see: unknown algorithm %v", alg)
-	}
-}
-
-type seeScheduler struct{ eng *core.Engine }
-
-func (s *seeScheduler) Algorithm() Algorithm { return SEE }
-func (s *seeScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
-func (s *seeScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
-	r, err := s.eng.RunSlot(rng)
-	if err != nil {
-		return nil, err
-	}
-	return &SlotResult{
-		Established:     r.Established,
-		PerPair:         r.PerPair,
-		Attempts:        r.Attempts,
-		SegmentsCreated: r.SegmentsCreated,
-	}, nil
-}
-
-type repsScheduler struct{ eng *reps.Engine }
-
-func (s *repsScheduler) Algorithm() Algorithm { return REPS }
-func (s *repsScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
-func (s *repsScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
-	r, err := s.eng.RunSlot(rng)
-	if err != nil {
-		return nil, err
-	}
-	return &SlotResult{
-		Established:     r.Established,
-		PerPair:         r.PerPair,
-		Attempts:        r.Attempts,
-		SegmentsCreated: r.LinksCreated,
-	}, nil
-}
-
-type e2eScheduler struct{ eng *e2e.Engine }
-
-func (s *e2eScheduler) Algorithm() Algorithm { return E2E }
-func (s *e2eScheduler) UpperBound() float64  { return s.eng.ExpectedUpperBound() }
-func (s *e2eScheduler) RunSlot(rng *rand.Rand) (*SlotResult, error) {
-	r, err := s.eng.RunSlot(rng)
-	if err != nil {
-		return nil, err
-	}
-	return &SlotResult{
-		Established:     r.Established,
-		PerPair:         r.PerPair,
-		Attempts:        r.Attempts,
-		SegmentsCreated: r.SegmentsCreated,
-	}, nil
+	return engines.New(alg, net.inner, raw, engines.Config{
+		KPaths:             o.KPaths,
+		MaxSegmentHops:     o.MaxSegmentHops,
+		MinSegmentProb:     o.MinSegmentProb,
+		StrictProvisioning: o.StrictProvisioning,
+		PlainObjective:     o.PlainObjective,
+		Tracer:             o.Tracer,
+	})
 }
 
 // LoadNetwork reads a topology from the edge-list text format of

@@ -219,6 +219,72 @@ func TestNSFNETNetworkAndLoad(t *testing.T) {
 	}
 }
 
+func TestSchedulerTracerObservesAllEngines(t *testing.T) {
+	net, pairs := MotivationNetwork()
+	for _, alg := range Algorithms {
+		tr := NewCountingTracer()
+		sc, err := NewScheduler(alg, net, pairs, &SchedulerOptions{Tracer: tr})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		for slot := 0; slot < 10; slot++ {
+			if _, err := sc.RunSlot(rand.New(rand.NewSource(int64(slot)))); err != nil {
+				t.Fatalf("%v: %v", alg, err)
+			}
+		}
+		c := tr.Counts()
+		if c.Slots != 10 {
+			t.Errorf("%v: Slots = %d, want 10", alg, c.Slots)
+		}
+		if c.AttemptsReserved == 0 || c.AttemptsResolved == 0 {
+			t.Errorf("%v: no attempt events observed: %+v", alg, c)
+		}
+		phases := 0
+		for ph := Phase(0); ph < 4; ph++ {
+			phases += tr.PhaseLatency(ph).N
+		}
+		if phases == 0 {
+			t.Errorf("%v: no phase-latency events observed", alg)
+		}
+	}
+}
+
+func TestNetworkConfigExplicitZero(t *testing.T) {
+	// Sparse configs keep the paper defaults...
+	def := DefaultNetworkConfig()
+	sparse := NetworkConfig{Nodes: 30}.toTopo()
+	if sparse.SwapProb != def.SwapProb || sparse.Alpha != def.Alpha || sparse.Delta != def.Delta {
+		t.Fatalf("sparse config lost defaults: %+v", sparse)
+	}
+	// ...while ExplicitZero forces an actual zero.
+	zeroed := NetworkConfig{Nodes: 30, SwapProb: ExplicitZero, Alpha: ExplicitZero, Delta: ExplicitZero}.toTopo()
+	if zeroed.SwapProb != 0 || zeroed.Alpha != 0 || zeroed.Delta != 0 {
+		t.Fatalf("ExplicitZero not honored: %+v", zeroed)
+	}
+	// A q=0 network can create segments but never completes a swap, so SEE
+	// still establishes single-segment connections only.
+	cfg := DefaultNetworkConfig()
+	cfg.Nodes = 40
+	cfg.SwapProb = ExplicitZero
+	net, pairs, err := GenerateNetwork(cfg, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewCountingTracer()
+	sc, err := NewScheduler(SEE, net, pairs, &SchedulerOptions{Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot := 0; slot < 5; slot++ {
+		if _, err := sc.RunSlot(rand.New(rand.NewSource(int64(slot)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := tr.Counts(); c.SwapsSucceeded != 0 {
+		t.Fatalf("q=0 network succeeded %d swaps", c.SwapsSucceeded)
+	}
+}
+
 func TestChoosePairsWithTraffic(t *testing.T) {
 	cfg := DefaultNetworkConfig()
 	cfg.Nodes = 50
