@@ -1,6 +1,11 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench figures
+.PHONY: all build test vet race verify bench bench-smoke figures
+
+# bench narrows the benchmark pattern / iteration budget, e.g.
+#   make bench BENCH=ColumnGeneration BENCHTIME=5s
+BENCH ?= .
+BENCHTIME ?= 1s
 
 all: build
 
@@ -16,12 +21,25 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the repo's full gate: vet, build, and the test suite under the
-# race detector (the experiment harness runs trials concurrently).
-verify: vet build race
+# verify is the repo's full gate: vet, build, the test suite under the
+# race detector (the experiment harness runs trials concurrently), and a
+# single-iteration pass over the substrate benchmarks so perf-path
+# regressions that only bench code exercises are caught early.
+verify: vet build race bench-smoke
 
+# bench records the run in BENCH_PR2.json next to the committed pre-change
+# baseline (BenchmarkColumnGeneration at commit 51e778b, serial kernel:
+# 663402285 ns/op) so the speedup claim is reproducible from the repo.
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench='$(BENCH)' -benchmem -benchtime=$(BENCHTIME) -timeout 30m -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -out BENCH_PR2.json \
+		-note 'column-generation kernel optimization PR; baseline from commit 51e778b' \
+		-baseline BenchmarkColumnGeneration=663402285
+
+# bench-smoke executes each substrate benchmark exactly once — a fast
+# compile-and-run check, not a measurement.
+bench-smoke:
+	$(GO) test -bench='ColumnGeneration|LPDenseSolve|YenKShortest' -benchtime=1x -run='^$$' .
 
 figures:
 	$(GO) run ./cmd/seefig -fig 3

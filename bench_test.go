@@ -14,6 +14,8 @@ package see_test
 // column generation, Yen) and the ablations called out in DESIGN.md.
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"see"
@@ -286,6 +288,38 @@ func BenchmarkColumnGeneration(b *testing.B) {
 		if sol.Objective <= 0 {
 			b.Fatal("degenerate LP")
 		}
+	}
+}
+
+// BenchmarkColumnGenerationParallel runs the same solve at several pricing
+// worker counts. The results are byte-identical at every count (see
+// internal/par); the sub-benchmarks expose how much of the solve the
+// parallel pricing rounds can hide on multicore hosts. On a single-core
+// host all counts degenerate to the serial path.
+func BenchmarkColumnGenerationParallel(b *testing.B) {
+	net, pairs := ablationNetwork(b)
+	set, err := segment.Build(net, pairs, core.DefaultOptions().Segment)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := []int{1, 2, 4, runtime.GOMAXPROCS(0)}
+	seen := make(map[int]bool, len(counts))
+	for _, w := range counts {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sol, err := flow.Solve(set, flow.Options{SwapWeightedObjective: true, Workers: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if sol.Objective <= 0 {
+					b.Fatal("degenerate LP")
+				}
+			}
+		})
 	}
 }
 

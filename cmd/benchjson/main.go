@@ -1,0 +1,206 @@
+// Command benchjson converts `go test -bench` output into a committed JSON
+// record so performance claims travel with the code. It reads the benchmark
+// output on stdin and writes one JSON document with every parsed benchmark
+// line plus an optional set of baseline numbers for comparison:
+//
+//	go test -bench=. -benchmem -run='^$' . |
+//	    go run ./cmd/benchjson -out BENCH_PR2.json \
+//	        -baseline BenchmarkColumnGeneration=663402285
+//
+// Each -baseline flag (repeatable) records a pre-change ns/op measurement
+// under "baseline_ns_op"; the tool then reports the speedup of the matching
+// current benchmark. Non-benchmark lines (figure tables, logs) pass through
+// to stderr so the run stays readable.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. Metrics maps unit → value and
+// always includes "ns/op"; with -benchmem it also has "B/op" and
+// "allocs/op", plus any custom b.ReportMetric units.
+type benchResult struct {
+	Name    string             `json:"name"`
+	Runs    int                `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// benchFile is the JSON document layout.
+type benchFile struct {
+	Note         string             `json:"note,omitempty"`
+	GoVersion    string             `json:"go_version"`
+	GOOS         string             `json:"goos"`
+	GOARCH       string             `json:"goarch"`
+	GOMAXPROCS   int                `json:"gomaxprocs"`
+	BaselineNsOp map[string]float64 `json:"baseline_ns_op,omitempty"`
+	Speedup      map[string]float64 `json:"speedup_vs_baseline,omitempty"`
+	Benchmarks   []benchResult      `json:"benchmarks"`
+}
+
+// baselineFlag collects repeated -baseline name=ns/op pairs.
+type baselineFlag map[string]float64
+
+func (b baselineFlag) String() string { return fmt.Sprint(map[string]float64(b)) }
+
+func (b baselineFlag) Set(s string) error {
+	name, val, ok := strings.Cut(s, "=")
+	if !ok {
+		return fmt.Errorf("want name=ns_per_op, got %q", s)
+	}
+	ns, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("bad ns/op in %q: %w", s, err)
+	}
+	b[name] = ns
+	return nil
+}
+
+func main() {
+	baselines := baselineFlag{}
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	note := flag.String("note", "", "free-form note stored in the document")
+	flag.Var(baselines, "baseline", "pre-change ns/op as Name=value (repeatable)")
+	flag.Parse()
+
+	results := parse(os.Stdin)
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	doc := benchFile{
+		Note:       *note,
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchmarks: results,
+	}
+	if len(baselines) > 0 {
+		doc.BaselineNsOp = baselines
+		doc.Speedup = speedups(results, baselines)
+	}
+
+	enc, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// parse extracts benchmark result lines; everything else is echoed to
+// stderr so table/log output from the run is not swallowed.
+func parse(f *os.File) []benchResult {
+	var results []benchResult
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		r, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(os.Stderr, line)
+			continue
+		}
+		results = append(results, r)
+	}
+	return results
+}
+
+// parseLine parses "BenchmarkName-8  3  315698322 ns/op  52542780 B/op ..."
+// — a name, a run count, then (value, unit) pairs.
+func parseLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	runs, err := strconv.Atoi(fields[1])
+	if err != nil {
+		return benchResult{}, false
+	}
+	r := benchResult{
+		// Strip the -GOMAXPROCS suffix so names are stable across hosts.
+		Name:    trimProcSuffix(fields[0]),
+		Runs:    runs,
+		Metrics: make(map[string]float64),
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return benchResult{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if _, ok := r.Metrics["ns/op"]; !ok {
+		return benchResult{}, false
+	}
+	return r, true
+}
+
+// trimProcSuffix removes a trailing "-<digits>" (the GOMAXPROCS marker) but
+// leaves sub-benchmark paths like "/workers=4" intact.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	suffix := name[i+1:]
+	if suffix == "" {
+		return name
+	}
+	for _, c := range suffix {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// speedups computes baseline/current ns-per-op ratios for benchmarks that
+// have a recorded baseline.
+func speedups(results []benchResult, baselines map[string]float64) map[string]float64 {
+	out := make(map[string]float64)
+	for _, r := range results {
+		base, ok := baselines[r.Name]
+		if !ok || base <= 0 {
+			continue
+		}
+		if ns := r.Metrics["ns/op"]; ns > 0 {
+			// Two decimals is plenty for a headline ratio.
+			out[r.Name] = float64(int(base/ns*100+0.5)) / 100
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	// Warn about baselines that matched nothing (likely a renamed bench).
+	var missing []string
+	for name := range baselines {
+		if _, ok := out[name]; !ok {
+			missing = append(missing, name)
+		}
+	}
+	sort.Strings(missing)
+	for _, name := range missing {
+		fmt.Fprintf(os.Stderr, "benchjson: baseline %q matched no benchmark\n", name)
+	}
+	return out
+}

@@ -34,6 +34,7 @@ func main() {
 		topoName = flag.String("topo", "waxman", "topology: waxman or nsfnet")
 		traffic  = flag.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
 		trace    = flag.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
+		workers  = flag.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
 	)
 	flag.Parse()
 
@@ -73,7 +74,7 @@ func main() {
 			os.Exit(1)
 		}
 		for _, a := range algs {
-			opts := &see.SchedulerOptions{}
+			opts := &see.SchedulerOptions{Workers: *workers}
 			if *trace {
 				opts.Tracer = tracers[a]
 			}

@@ -142,6 +142,11 @@ func (e *Engine) PlanSlot(rng *rand.Rand) (*SlotPlan, error) {
 // exactly (tracers observe outcomes but never consume randomness).
 func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	tr := e.tracer
+	// Tracer-only work (per-event callbacks and the sort feeding the
+	// reservation events) is skipped entirely under a no-op tracer; the
+	// rng stream is identical either way, so traced and bare runs of the
+	// same seed produce the same slot.
+	traced := !sched.IsNop(tr)
 	tr.SlotStart(e.opts.Algorithm)
 	res := &sched.SlotResult{
 		LPObjective: e.LP.Objective,
@@ -152,8 +157,10 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	t0 := time.Now()
 	planned := e.identifyPaths(rng)
 	res.PlannedPaths = len(planned)
-	for _, p := range planned {
-		tr.PathPlanned(p.Commodity, len(p.Hops))
+	if traced {
+		for _, p := range planned {
+			tr.PathPlanned(p.Commodity, len(p.Hops))
+		}
 	}
 	tr.PhaseDone(sched.PhasePlan, time.Since(t0))
 
@@ -165,19 +172,25 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	}
 	res.ProvisionedPaths = len(provisioned)
 	res.Attempts = plan.TotalAttempts()
-	for _, p := range provisioned {
-		tr.PathProvisioned(p.Commodity)
-	}
-	for _, c := range plan.SortedCandidates() {
-		tr.AttemptReserved(c.U(), c.V(), plan[c])
+	if traced {
+		for _, p := range provisioned {
+			tr.PathProvisioned(p.Commodity)
+		}
+		for _, c := range plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), plan[c])
+		}
 	}
 	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
 
 	// Physical phase — attempts succeed i.i.d.
 	t0 = time.Now()
-	created := qnet.AttemptAllObserved(plan, rng, func(c *segment.Candidate, ok bool) {
-		tr.AttemptResolved(c.U(), c.V(), ok)
-	})
+	var attemptObs qnet.AttemptObserver
+	if traced {
+		attemptObs = func(c *segment.Candidate, ok bool) {
+			tr.AttemptResolved(c.U(), c.V(), ok)
+		}
+	}
+	created := qnet.AttemptAllObserved(plan, rng, attemptObs)
 	res.SegmentsCreated = len(created)
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 

@@ -22,6 +22,9 @@ type Options struct {
 	// stronger scheme than the one the paper compares against; see the
 	// ablation bench).
 	KPaths int
+	// Workers bounds the goroutines of the LP pricing rounds
+	// (see flow.Options.Workers).
+	Workers int
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
 }
@@ -43,6 +46,7 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 		coreOpts.Segment.KPaths = opts.KPaths
 	}
 	coreOpts.Algorithm = sched.E2E
+	coreOpts.Flow.Workers = opts.Workers
 	coreOpts.Tracer = opts.Tracer
 	inner, err := core.NewEngine(net, pairs, coreOpts)
 	if err != nil {

@@ -35,6 +35,10 @@ type Config struct {
 	// PlainObjective disables the swap-survival weighting of the LP
 	// objective (ablation; see flow.Options.SwapWeightedObjective).
 	PlainObjective bool
+	// Workers bounds the goroutines used by the LP pricing rounds of every
+	// scheme (0 = GOMAXPROCS, 1 = serial; see flow.Options.Workers).
+	// Results are byte-identical at any worker count.
+	Workers int
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
 }
@@ -74,14 +78,17 @@ func newSEE(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, e
 	}
 	co.StrictProvisioning = cfg.StrictProvisioning
 	co.Flow.SwapWeightedObjective = !cfg.PlainObjective
+	co.Flow.Workers = cfg.Workers
 	co.Tracer = cfg.Tracer
 	return core.NewEngine(net, pairs, co)
 }
 
 func newREPS(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	return reps.NewEngine(net, pairs, reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer})
+	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer}
+	o.Flow.Workers = cfg.Workers
+	return reps.NewEngine(net, pairs, o)
 }
 
 func newE2E(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	return e2e.NewEngine(net, pairs, e2e.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer})
+	return e2e.NewEngine(net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer})
 }

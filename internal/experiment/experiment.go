@@ -53,9 +53,11 @@ type Params struct {
 	MaxSegmentHops int
 	// StrictProvisioning switches SEE's ESC to the paper-literal mode.
 	StrictProvisioning bool
-	// Workers bounds the goroutines running trials concurrently; 0 means
-	// GOMAXPROCS. Trials are seeded independently, so the results are
-	// identical to a serial run regardless of scheduling.
+	// Workers bounds the goroutines running trials concurrently and, inside
+	// each trial, the goroutines of every engine's LP pricing rounds; 0
+	// means GOMAXPROCS. Trials are seeded independently and the pricing
+	// parallelism is deterministic, so the results are byte-identical to a
+	// serial run regardless of scheduling or worker count.
 	Workers int
 	// Tracer observes every engine's slot pipeline across all trials and
 	// algorithms. Trials run concurrently, so the implementation must be
@@ -100,6 +102,7 @@ func (p Params) engineConfig() engines.Config {
 		KPaths:             p.KPaths,
 		MaxSegmentHops:     p.MaxSegmentHops,
 		StrictProvisioning: p.StrictProvisioning,
+		Workers:            p.Workers,
 		Tracer:             p.Tracer,
 	}
 }

@@ -199,3 +199,43 @@ func TestRunPointParallelMatchesSerial(t *testing.T) {
 		}
 	}
 }
+
+// TestRunPointDeterministicAcrossWorkerCounts pins the end-to-end
+// determinism contract: Params.Workers now also bounds the goroutines of
+// every engine's LP pricing rounds, and results must stay byte-identical
+// at any count. Every summary field and the per-pair CDF are compared with
+// ==; run under -race this also exercises the pricing fan-out for data
+// races.
+func TestRunPointDeterministicAcrossWorkerCounts(t *testing.T) {
+	p := smallParams()
+	p.Trials = 4
+	p.Workers = 1
+	base, err := RunPoint(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		p.Workers = workers
+		got, err := RunPoint(p)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for _, alg := range Algorithms {
+			b, g := base[alg], got[alg]
+			if g.Throughput != b.Throughput {
+				t.Fatalf("%v workers=%d: throughput %+v != %+v", alg, workers, g.Throughput, b.Throughput)
+			}
+			if g.Jain != b.Jain {
+				t.Fatalf("%v workers=%d: jain %v != %v", alg, workers, g.Jain, b.Jain)
+			}
+			if len(g.PerPairCDF.Xs) != len(b.PerPairCDF.Xs) {
+				t.Fatalf("%v workers=%d: CDF size mismatch", alg, workers)
+			}
+			for i := range b.PerPairCDF.Xs {
+				if g.PerPairCDF.Xs[i] != b.PerPairCDF.Xs[i] || g.PerPairCDF.Ps[i] != b.PerPairCDF.Ps[i] {
+					t.Fatalf("%v workers=%d: CDF point %d differs", alg, workers, i)
+				}
+			}
+		}
+	}
+}

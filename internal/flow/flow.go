@@ -20,16 +20,23 @@
 // duals. Pricing is exact (any non-minimal realization has no better
 // reduced cost), so on convergence the solution is LP-optimal over the
 // whole exponential column space.
+//
+// Both pricing stages parallelize deterministically (Options.Workers): the
+// per-segment-edge realization scan and the per-commodity path searches
+// write only per-index output slots, and the priced columns are inserted
+// into the master in commodity order, so the column sequence — and with it
+// the simplex basis trajectory and the returned Solution — is byte-identical
+// at any worker count.
 package flow
 
 import (
 	"errors"
 	"fmt"
 	"math"
-	"strings"
 
 	"see/internal/graph"
 	"see/internal/lp"
+	"see/internal/par"
 	"see/internal/segment"
 )
 
@@ -94,6 +101,12 @@ type Options struct {
 	// MaxJunctions bounds the junction count considered by the layered
 	// pricing (default 14); only used with SwapWeightedObjective.
 	MaxJunctions int
+	// Workers bounds the goroutines used by each pricing round (the
+	// per-segment-edge realization scan and the per-commodity path
+	// searches). 0 means GOMAXPROCS, 1 is fully serial. The solve is
+	// deterministic: the same inputs yield a byte-identical Solution at
+	// any worker count.
+	Workers int
 }
 
 func (o Options) withDefaults(set *segment.Set) Options {
@@ -124,25 +137,86 @@ type model struct {
 	numRows int
 	solver  *lp.PackingSolver
 
-	// usage[pairEdgeID] is recomputed each round: the cheapest realization
-	// of each segment edge under current duals and its cost.
-	bestCost []float64
-	bestCand []*segment.Candidate
+	// Dual-independent per-candidate data, computed once at model build
+	// (aligned with set.ByPair[set.EdgePairs[edgeID]]):
+	// factors[edgeID][k] is the attempt factor 1/(p·√(q_u·q_v)) and
+	// candLinkRows[edgeID][k] the master rows of the candidate's physical
+	// links. pairMemRows[edgeID] holds the memory rows of the edge's two
+	// endpoints. Pricing rounds touch no maps and recompute no factors.
+	factors      [][]float64
+	candLinkRows [][][]int32
+	pairMemRows  [][2]int32
+	// negLogQ[v] caches −ln(SwapProb[v]) for the layered pricing DP
+	// (+Inf at q ≤ 0); the log was previously recomputed per frontier
+	// node per layer per commodity per round.
+	negLogQ []float64
 
-	colKeys map[string]struct{}
+	// Per segment edge, recomputed each round: the cheapest realization
+	// under current duals, its cost, its attempt factor and its index in
+	// the ByPair list (the compact column-key component).
+	bestCost    []float64
+	bestCand    []*segment.Candidate
+	bestCandIdx []int32
+	bestFactor  []float64
+
+	colKeys colKeySet
 	columns []column
 
-	// Reusable buffers of the layered pricing DP.
-	priceDist     []float64
-	priceLogq     []float64
-	pricePrevNode []int32
-	pricePrevEdge []int32
+	// Per-worker scratch of the layered pricing DP (index = worker id from
+	// par.ForWorker, so no two goroutines share a buffer).
+	price []*priceScratch
 }
 
 type column struct {
 	commodity int
 	hops      []SegHop
 	nodes     graph.Path
+}
+
+// pricedPath is one commodity's pricing result for a round, produced in a
+// per-commodity slot by the parallel phase and inserted serially.
+type pricedPath struct {
+	nodes   graph.Path
+	edgeIDs []int
+	weight  float64
+	ok      bool
+}
+
+// colKeySet deduplicates generated columns by their identity key — the
+// commodity followed by (edge ID, realization index) per hop — stored as
+// compact integer slices hashed with FNV-1a (the previous implementation
+// built throwaway fmt.Fprintf strings per candidate per round).
+type colKeySet struct {
+	buckets map[uint64][][]int32
+}
+
+// add inserts the key and reports whether it was new.
+func (s *colKeySet) add(k []int32) bool {
+	if s.buckets == nil {
+		s.buckets = make(map[uint64][][]int32)
+	}
+	h := uint64(14695981039346656037)
+	for _, v := range k {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	for _, ex := range s.buckets[h] {
+		if len(ex) != len(k) {
+			continue
+		}
+		same := true
+		for i := range ex {
+			if ex[i] != k[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], k)
+	return true
 }
 
 // Solve runs column generation to LP optimality (or MaxRounds).
@@ -155,19 +229,23 @@ func Solve(set *segment.Set, opts Options) (*Solution, error) {
 		return nil, fmt.Errorf("flow: ConnCap has %d entries for %d pairs", len(opts.ConnCap), len(set.Pairs))
 	}
 
-	m := &model{set: set, opts: opts, colKeys: make(map[string]struct{})}
+	m := &model{set: set, opts: opts}
 	m.layoutRows()
+	m.buildCandidateTables()
 	var err error
 	m.solver, err = lp.NewPacking(m.rhs())
 	if err != nil {
 		return nil, fmt.Errorf("flow: building master: %w", err)
 	}
 
+	priced := make([]pricedPath, len(set.Pairs))
+
 	// Seed with resource-greedy columns: price under uniform unit duals so
 	// initial paths already prefer cheap, reliable segments.
 	m.priceRealizations(unitDuals(m.numRows))
+	m.priceColumns(nil, opts.Epsilon, priced)
 	for i := range set.Pairs {
-		m.addPricedColumn(i, math.Inf(-1), opts.Epsilon)
+		m.insertColumn(i, &priced[i])
 	}
 
 	rounds := 0
@@ -181,10 +259,11 @@ func Solve(set *segment.Set, opts Options) (*Solution, error) {
 		}
 		duals := m.solver.Duals()
 		m.priceRealizations(duals)
+		m.priceColumns(duals, opts.Epsilon, priced)
 		added := 0
 		for i := range set.Pairs {
 			// Add the path iff its reduced cost w_P − dual_i − cost > ε.
-			if m.addPricedColumn(i, duals[i], opts.Epsilon) {
+			if m.insertColumn(i, &priced[i]) {
 				added++
 			}
 		}
@@ -210,6 +289,47 @@ func (m *model) layoutRows() {
 		row++
 	}
 	m.numRows = row
+}
+
+// buildCandidateTables precomputes the dual-independent per-candidate data:
+// attempt factors and master-row indices. The pricing loop runs every round
+// under fresh duals, but these never change, so they are resolved exactly
+// once here.
+func (m *model) buildCandidateTables() {
+	n := len(m.set.EdgePairs)
+	m.factors = make([][]float64, n)
+	m.candLinkRows = make([][][]int32, n)
+	m.pairMemRows = make([][2]int32, n)
+	m.bestCost = make([]float64, n)
+	m.bestCand = make([]*segment.Candidate, n)
+	m.bestCandIdx = make([]int32, n)
+	m.bestFactor = make([]float64, n)
+	for id, pk := range m.set.EdgePairs {
+		list := m.set.ByPair[pk]
+		fs := make([]float64, len(list))
+		rows := make([][]int32, len(list))
+		for k, c := range list {
+			fs[k] = attemptFactor(m.set, c)
+			lr := make([]int32, len(c.EdgeIDs))
+			for h, e := range c.EdgeIDs {
+				lr[h] = int32(m.linkRow[e])
+			}
+			rows[k] = lr
+		}
+		m.factors[id] = fs
+		m.candLinkRows[id] = rows
+		m.pairMemRows[id] = [2]int32{int32(m.memRow[pk.U]), int32(m.memRow[pk.V])}
+	}
+	if m.opts.SwapWeightedObjective {
+		m.negLogQ = make([]float64, m.set.Net.NumNodes())
+		for v, q := range m.set.Net.SwapProb {
+			if q <= 0 {
+				m.negLogQ[v] = math.Inf(1)
+			} else {
+				m.negLogQ[v] = -math.Log(q)
+			}
+		}
+	}
 }
 
 func (m *model) rhs() []float64 {
@@ -251,9 +371,9 @@ func unitDuals(n int) []float64 {
 
 // attemptFactor is 1/(p·√(q_u q_v)); +Inf when the realization cannot
 // support flow.
-func (m *model) attemptFactor(c *segment.Candidate) float64 {
-	qu := m.set.Net.SwapProb[c.Path[0]]
-	qv := m.set.Net.SwapProb[c.Path[len(c.Path)-1]]
+func attemptFactor(set *segment.Set, c *segment.Candidate) float64 {
+	qu := set.Net.SwapProb[c.Path[0]]
+	qv := set.Net.SwapProb[c.Path[len(c.Path)-1]]
 	den := c.Prob * math.Sqrt(qu*qv)
 	if den <= 1e-12 {
 		return math.Inf(1)
@@ -263,111 +383,132 @@ func (m *model) attemptFactor(c *segment.Candidate) float64 {
 
 // priceRealizations computes, per segment edge, the cheapest realization
 // cost under the duals: factor · (Σ link duals + endpoint memory duals).
+// Edges are priced in parallel; each index writes only its own slots, so
+// the result is independent of the worker count.
 func (m *model) priceRealizations(duals []float64) {
-	n := len(m.set.EdgePairs)
-	if m.bestCost == nil {
-		m.bestCost = make([]float64, n)
-		m.bestCand = make([]*segment.Candidate, n)
-	}
-	for id, pk := range m.set.EdgePairs {
+	par.For(m.opts.Workers, len(m.set.EdgePairs), func(id int) {
 		best := math.Inf(1)
-		var bestC *segment.Candidate
-		memDual := duals[m.memRow[pk.U]] + duals[m.memRow[pk.V]]
-		for _, c := range m.set.ByPair[pk] {
-			f := m.attemptFactor(c)
+		bestK := -1
+		mr := m.pairMemRows[id]
+		memDual := duals[mr[0]] + duals[mr[1]]
+		fs := m.factors[id]
+		for k, rows := range m.candLinkRows[id] {
+			f := fs[k]
 			if math.IsInf(f, 1) {
 				continue
 			}
 			sum := memDual
-			for _, e := range c.EdgeIDs {
-				sum += duals[m.linkRow[e]]
+			for _, r := range rows {
+				sum += duals[r]
 			}
 			// A tiny per-segment epsilon keeps degenerate all-zero-dual
 			// rounds from returning needlessly long paths.
 			cost := f * (sum + 1e-9)
 			if cost < best {
 				best = cost
-				bestC = c
+				bestK = k
 			}
 		}
 		m.bestCost[id] = best
-		m.bestCand[id] = bestC
-	}
+		m.bestCandIdx[id] = int32(bestK)
+		if bestK >= 0 {
+			m.bestCand[id] = m.set.ByPair[m.set.EdgePairs[id]][bestK]
+			m.bestFactor[id] = fs[bestK]
+		} else {
+			m.bestCand[id] = nil
+			m.bestFactor[id] = math.Inf(1)
+		}
+	})
 }
 
-// addPricedColumn prices one commodity and adds the best path column if
-// its reduced cost w_P − dualI − cost exceeds eps (dualI = −Inf forces
-// seeding). Returns whether a new column was added.
-func (m *model) addPricedColumn(i int, dualI, eps float64) bool {
-	var nodes graph.Path
-	var edgeIDs []int
-	var weight float64
-	if m.opts.SwapWeightedObjective {
-		nodes, edgeIDs, weight = m.layeredPrice(i, dualI, eps)
-	} else {
-		sd := m.set.Pairs[i]
-		res := graph.Dijkstra(m.set.SegGraph, sd.S, graph.DijkstraOptions{
-			EdgeWeight: func(id int, _ float64) float64 { return m.bestCost[id] },
-		})
-		if res.Dist[sd.D] == graph.Unreachable || 1-dualI-res.Dist[sd.D] <= eps {
-			return false
-		}
-		nodes = res.PathTo(sd.D)
-		edgeIDs = res.EdgesTo(sd.D)
-		weight = 1
+// priceColumns runs the per-commodity pricing oracle for every SD pair into
+// the per-commodity slots of out. duals == nil is the seeding round (every
+// finite path qualifies). Commodities are priced in parallel; each worker
+// uses its own layered-DP scratch and writes only its commodity's slot.
+func (m *model) priceColumns(duals []float64, eps float64, out []pricedPath) {
+	n := len(m.set.Pairs)
+	if m.price == nil {
+		m.price = make([]*priceScratch, par.Resolve(m.opts.Workers, n))
 	}
-	if nodes == nil {
+	par.ForWorker(m.opts.Workers, n, func(w, i int) {
+		dualI := math.Inf(-1)
+		if duals != nil {
+			dualI = duals[i]
+		}
+		out[i] = m.pricePath(w, i, dualI, eps)
+	})
+}
+
+// pricePath finds commodity i's best path under the current edge prices.
+// dualI = −Inf forces seeding (any finite-cost path qualifies).
+func (m *model) pricePath(w, i int, dualI, eps float64) pricedPath {
+	if m.opts.SwapWeightedObjective {
+		if m.price[w] == nil {
+			m.price[w] = &priceScratch{}
+		}
+		nodes, edgeIDs, weight := m.layeredPrice(m.price[w], i, dualI, eps)
+		return pricedPath{nodes: nodes, edgeIDs: edgeIDs, weight: weight, ok: nodes != nil}
+	}
+	sd := m.set.Pairs[i]
+	res := graph.Dijkstra(m.set.SegGraph, sd.S, graph.DijkstraOptions{
+		EdgeWeight: func(id int, _ float64) float64 { return m.bestCost[id] },
+	})
+	if res.Dist[sd.D] == graph.Unreachable || 1-dualI-res.Dist[sd.D] <= eps {
+		return pricedPath{}
+	}
+	return pricedPath{nodes: res.PathTo(sd.D), edgeIDs: res.EdgesTo(sd.D), weight: 1, ok: true}
+}
+
+// insertColumn adds commodity i's priced path to the master unless it is a
+// duplicate or unusable. Insertion runs serially in commodity order, so the
+// master's column sequence does not depend on the pricing worker count.
+func (m *model) insertColumn(i int, pp *pricedPath) bool {
+	if !pp.ok || pp.nodes == nil {
 		return false
 	}
-	hops := make([]SegHop, len(edgeIDs))
-	var key strings.Builder
-	fmt.Fprintf(&key, "c%d", i)
-	for h, id := range edgeIDs {
+	hops := make([]SegHop, len(pp.edgeIDs))
+	key := make([]int32, 0, 1+2*len(pp.edgeIDs))
+	key = append(key, int32(i))
+	for h, id := range pp.edgeIDs {
 		cand := m.bestCand[id]
 		if cand == nil {
 			return false
 		}
 		hops[h] = SegHop{Pair: m.set.EdgePairs[id], Cand: cand}
-		fmt.Fprintf(&key, "|%d:%s", id, candKey(cand))
+		key = append(key, int32(id), m.bestCandIdx[id])
 	}
-	if _, dup := m.colKeys[key.String()]; dup {
+	if !m.colKeys.add(key) {
 		return false
 	}
-	m.colKeys[key.String()] = struct{}{}
 
-	entries := m.columnEntries(i, hops)
+	entries := m.columnEntries(i, pp.edgeIDs)
 	if entries == nil {
 		return false
 	}
-	if _, err := m.solver.AddColumn(weight, entries); err != nil {
+	if _, err := m.solver.AddColumn(pp.weight, entries); err != nil {
 		return false
 	}
-	m.columns = append(m.columns, column{commodity: i, hops: hops, nodes: nodes})
+	m.columns = append(m.columns, column{commodity: i, hops: hops, nodes: pp.nodes})
 	return true
 }
 
-func candKey(c *segment.Candidate) string {
-	var b strings.Builder
-	for _, v := range c.Path {
-		fmt.Fprintf(&b, "%d,", v)
-	}
-	return b.String()
-}
-
-// columnEntries builds the sparse resource footprint of a path column.
-func (m *model) columnEntries(i int, hops []SegHop) []lp.Entry {
-	acc := make(map[int]float64, 2+3*len(hops))
+// columnEntries builds the sparse resource footprint of a path column from
+// the cached per-candidate rows and factors of the round's best
+// realizations.
+func (m *model) columnEntries(i int, edgeIDs []int) []lp.Entry {
+	acc := make(map[int]float64, 2+3*len(edgeIDs))
 	acc[i] = 1
-	for _, h := range hops {
-		f := m.attemptFactor(h.Cand)
+	for _, id := range edgeIDs {
+		f := m.bestFactor[id]
 		if math.IsInf(f, 1) {
 			return nil
 		}
-		for _, e := range h.Cand.EdgeIDs {
-			acc[m.linkRow[e]] += f
+		for _, r := range m.candLinkRows[id][m.bestCandIdx[id]] {
+			acc[int(r)] += f
 		}
-		acc[m.memRow[h.Pair.U]] += f
-		acc[m.memRow[h.Pair.V]] += f
+		mr := m.pairMemRows[id]
+		acc[int(mr[0])] += f
+		acc[int(mr[1])] += f
 	}
 	entries := make([]lp.Entry, 0, len(acc))
 	for row, v := range acc {

@@ -1,6 +1,7 @@
 package flow
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -446,5 +447,80 @@ func TestSwapWeightedBoundedByPlain(t *testing.T) {
 			t.Fatalf("seed %d: weighted %v > plain %v", seed, weighted.Objective, plain.Objective)
 		}
 		verifyFeasibility(t, set, weighted, nil)
+	}
+}
+
+// TestSolveParallelPricingDeterministic checks the deterministic-parallelism
+// contract of the pricing rounds: Solve must return byte-identical results
+// at every worker count, because each pricing goroutine writes only its own
+// output slot and columns are inserted in commodity order on the caller's
+// goroutine (see internal/par). Floats are compared with ==, not a
+// tolerance — any divergence in the basis trajectory is a bug.
+func TestSolveParallelPricingDeterministic(t *testing.T) {
+	cfg := topo.DefaultConfig()
+	cfg.Nodes = 80
+	net, err := topo.Generate(cfg, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topo.ChooseSDPairs(net, 12, xrand.New(8))
+	segOpts := segment.DefaultOptions()
+	segOpts.MaxSegmentHops = 10
+	set := buildSet(t, net, pairs, segOpts)
+
+	for _, weighted := range []bool{false, true} {
+		base, err := Solve(set, Options{SwapWeightedObjective: weighted, Workers: 1})
+		if err != nil {
+			t.Fatalf("weighted=%v workers=1: %v", weighted, err)
+		}
+		for _, workers := range []int{2, 3, 8} {
+			got, err := Solve(set, Options{SwapWeightedObjective: weighted, Workers: workers})
+			if err != nil {
+				t.Fatalf("weighted=%v workers=%d: %v", weighted, workers, err)
+			}
+			ctx := fmt.Sprintf("weighted=%v", weighted)
+			if got.Objective != base.Objective {
+				t.Fatalf("%s workers=%d: objective %v != %v", ctx, workers, got.Objective, base.Objective)
+			}
+			if got.Rounds != base.Rounds || got.Columns != base.Columns {
+				t.Fatalf("%s workers=%d: rounds/columns (%d,%d) != (%d,%d)",
+					ctx, workers, got.Rounds, got.Columns, base.Rounds, base.Columns)
+			}
+			if len(got.PerCommodity) != len(base.PerCommodity) {
+				t.Fatalf("%s workers=%d: PerCommodity length mismatch", ctx, workers)
+			}
+			for i := range base.PerCommodity {
+				if got.PerCommodity[i] != base.PerCommodity[i] {
+					t.Fatalf("%s workers=%d: PerCommodity[%d] %v != %v",
+						ctx, workers, i, got.PerCommodity[i], base.PerCommodity[i])
+				}
+			}
+			if len(got.Paths) != len(base.Paths) {
+				t.Fatalf("%s workers=%d: %d paths != %d", ctx, workers, len(got.Paths), len(base.Paths))
+			}
+			for i := range base.Paths {
+				bp, gp := base.Paths[i], got.Paths[i]
+				if gp.Commodity != bp.Commodity || gp.Flow != bp.Flow {
+					t.Fatalf("%s workers=%d: path %d (commodity,flow) (%d,%v) != (%d,%v)",
+						ctx, workers, i, gp.Commodity, gp.Flow, bp.Commodity, bp.Flow)
+				}
+				if len(gp.Nodes) != len(bp.Nodes) {
+					t.Fatalf("%s workers=%d: path %d node count mismatch", ctx, workers, i)
+				}
+				for j := range bp.Nodes {
+					if gp.Nodes[j] != bp.Nodes[j] {
+						t.Fatalf("%s workers=%d: path %d node %d differs", ctx, workers, i, j)
+					}
+				}
+				if len(gp.Hops) != len(bp.Hops) {
+					t.Fatalf("%s workers=%d: path %d hop count mismatch", ctx, workers, i)
+				}
+				for j := range bp.Hops {
+					if gp.Hops[j].Pair != bp.Hops[j].Pair || gp.Hops[j].Cand != bp.Hops[j].Cand {
+						t.Fatalf("%s workers=%d: path %d hop %d differs", ctx, workers, i, j)
+					}
+				}
+			}
+		}
 	}
 }

@@ -6,6 +6,32 @@ import (
 	"see/internal/graph"
 )
 
+// priceScratch holds the reusable buffers of one worker's layered pricing
+// DP. Each parallel pricing worker owns exactly one (see model.price), so
+// the DP never shares state across goroutines; its zero value is ready and
+// grows on first use.
+type priceScratch struct {
+	dist       []float64
+	logq       []float64
+	prevNode   []int32
+	prevEdge   []int32
+	frontier   []int
+	inFrontier []bool
+}
+
+func (ps *priceScratch) resize(layers, n int) {
+	if len(ps.dist) != layers*n {
+		ps.dist = make([]float64, layers*n)
+		ps.logq = make([]float64, layers*n)
+		ps.prevNode = make([]int32, layers*n)
+		ps.prevEdge = make([]int32, layers*n)
+	}
+	if len(ps.inFrontier) != n {
+		ps.inFrontier = make([]bool, n)
+	}
+	ps.frontier = ps.frontier[:0]
+}
+
 // layeredPrice is the pricing oracle for the swap-weighted objective: it
 // finds, over all hop counts h ≤ MaxJunctions+1, the s→d path of exactly h
 // segment hops minimizing resource cost, and returns the one maximizing
@@ -25,31 +51,27 @@ import (
 // layer wins instead.
 //
 // It returns (nil, nil, 0) when no path qualifies.
-func (m *model) layeredPrice(i int, dualI, eps float64) (graph.Path, []int, float64) {
+func (m *model) layeredPrice(ps *priceScratch, i int, dualI, eps float64) (graph.Path, []int, float64) {
 	sd := m.set.Pairs[i]
 	g := m.set.SegGraph
 	n := g.N()
 	maxHops := m.opts.MaxJunctions + 1
 
-	if m.priceDist == nil || len(m.priceDist) != (maxHops+1)*n {
-		m.priceDist = make([]float64, (maxHops+1)*n)
-		m.priceLogq = make([]float64, (maxHops+1)*n)
-		m.pricePrevNode = make([]int32, (maxHops+1)*n)
-		m.pricePrevEdge = make([]int32, (maxHops+1)*n)
-	}
-	dist, logq := m.priceDist, m.priceLogq
-	prevNode, prevEdge := m.pricePrevNode, m.pricePrevEdge
+	ps.resize(maxHops+1, n)
+	dist, logq := ps.dist, ps.logq
+	prevNode, prevEdge := ps.prevNode, ps.prevEdge
+	// Only dist needs resetting: prevNode/prevEdge are read exclusively at
+	// entries whose dist was written this call (reconstruct follows layers
+	// h…1 of a finite-dist path), so stale values are never observed.
 	for k := range dist {
 		dist[k] = math.Inf(1)
-		prevNode[k] = -1
-		prevEdge[k] = -1
 	}
 	idx := func(h, v int) int { return h*n + v }
 	dist[idx(0, sd.S)] = 0
 
 	// frontier of nodes reachable at the previous layer.
-	frontier := []int{sd.S}
-	inFrontier := make([]bool, n)
+	frontier := append(ps.frontier, sd.S)
+	inFrontier := ps.inFrontier
 	for h := 1; h <= maxHops && len(frontier) > 0; h++ {
 		next := frontier[:0:0]
 		for i2 := range inFrontier {
@@ -60,11 +82,10 @@ func (m *model) layeredPrice(i int, dualI, eps float64) (graph.Path, []int, floa
 			base := du
 			var addLogq float64
 			if u != sd.S {
-				q := m.set.Net.SwapProb[u]
-				if q <= 0 {
+				addLogq = m.negLogQ[u]
+				if math.IsInf(addLogq, 1) {
 					continue
 				}
-				addLogq = -math.Log(q)
 			}
 			lq := logq[idx(h-1, u)] + addLogq
 			for _, e := range g.Neighbors(u) {
@@ -120,7 +141,7 @@ func (m *model) layeredPrice(i int, dualI, eps float64) (graph.Path, []int, floa
 				best = k
 			}
 		}
-		nodes, edges := m.reconstruct(prevNode, prevEdge, n, cands[best].h, sd.D)
+		nodes, edges := reconstruct(prevNode, prevEdge, n, cands[best].h, sd.D)
 		if nodes.Loopless() {
 			return nodes, edges, cands[best].w
 		}
@@ -130,7 +151,7 @@ func (m *model) layeredPrice(i int, dualI, eps float64) (graph.Path, []int, floa
 	return nil, nil, 0
 }
 
-func (m *model) reconstruct(prevNode, prevEdge []int32, n, h, dst int) (graph.Path, []int) {
+func reconstruct(prevNode, prevEdge []int32, n, h, dst int) (graph.Path, []int) {
 	nodes := make(graph.Path, h+1)
 	edges := make([]int, h)
 	v := dst

@@ -30,11 +30,29 @@ type PackingSolver struct {
 	xb      []float64
 	solved  bool
 
+	// Incrementally maintained views of the basis, kept in sync by
+	// pivot/resetBasis/refactorize so the solve loop and accessors stop
+	// recomputing them:
+	//
+	//	y            — the (unclamped) duals c_B·B⁻¹; pivoting updates them
+	//	               in O(m) via y += rc/d_r · (B⁻¹)_r instead of the
+	//	               O(m²) from-scratch product per iteration.
+	//	slackInBasis — per row, whether its slack is basic (replaces a
+	//	               linear basis scan per pricing candidate).
+	//	basisRowOf   — structural column → basis row, or −1 (makes Primal
+	//	               O(1)).
+	y            []float64
+	slackInBasis []bool
+	basisRowOf   []int
+
 	// MaxIter caps pivots per Solve call; 0 means automatic.
 	MaxIter int
 	// pivots counts total pivots across Solve calls (refactorization
 	// schedule and tests).
 	pivots int
+	// supBuf is pivot's reusable scratch for the nonzero support of the
+	// transformed pivot row.
+	supBuf []int32
 }
 
 type packedColumn struct {
@@ -62,12 +80,19 @@ func (s *PackingSolver) resetBasis() {
 	s.basis = make([]int, s.m)
 	s.binv = make([][]float64, s.m)
 	s.xb = append([]float64(nil), s.b...)
+	s.y = make([]float64, s.m) // all-slack basis has c_B = 0
+	s.slackInBasis = make([]bool, s.m)
 	for i := 0; i < s.m; i++ {
 		s.basis[i] = -(i + 1)
 		s.binv[i] = make([]float64, s.m)
 		s.binv[i][i] = 1
+		s.slackInBasis[i] = true
 	}
 	s.inBasis = make([]bool, len(s.col))
+	s.basisRowOf = make([]int, len(s.col))
+	for j := range s.basisRowOf {
+		s.basisRowOf[j] = -1
+	}
 	s.solved = false
 }
 
@@ -103,13 +128,29 @@ func (s *PackingSolver) AddColumn(obj float64, entries []Entry) (int, error) {
 	sort.Slice(es, func(i, j int) bool { return es[i].Index < es[j].Index })
 	s.col = append(s.col, packedColumn{obj: obj, entries: es})
 	s.inBasis = append(s.inBasis, false)
+	s.basisRowOf = append(s.basisRowOf, -1)
 	return len(s.col) - 1, nil
 }
 
 // Duals returns the dual variable of each row from the last optimal solve.
 // For packing LPs the duals are ≥ 0 (up to tolerance).
 func (s *PackingSolver) Duals() []float64 {
-	y := make([]float64, s.m)
+	y := append([]float64(nil), s.y...)
+	for j := range y {
+		if y[j] < 0 && y[j] > -1e-7 {
+			y[j] = 0
+		}
+	}
+	return y
+}
+
+// computeDuals recomputes c_B·B⁻¹ from the basis definition into s.y,
+// discarding the incrementally maintained values (refactorization and
+// drift tests).
+func (s *PackingSolver) computeDuals() {
+	for j := range s.y {
+		s.y[j] = 0
+	}
 	for i := 0; i < s.m; i++ {
 		cb := s.objOf(s.basis[i])
 		if cb == 0 {
@@ -117,15 +158,9 @@ func (s *PackingSolver) Duals() []float64 {
 		}
 		row := s.binv[i]
 		for j := 0; j < s.m; j++ {
-			y[j] += cb * row[j]
+			s.y[j] += cb * row[j]
 		}
 	}
-	for j := range y {
-		if y[j] < 0 && y[j] > -1e-7 {
-			y[j] = 0
-		}
-	}
-	return y
 }
 
 // Objective returns the current objective value.
@@ -140,13 +175,11 @@ func (s *PackingSolver) Objective() float64 {
 // Primal returns the value of structural column j in the current basic
 // solution.
 func (s *PackingSolver) Primal(j int) float64 {
-	if j < 0 || j >= len(s.col) || !s.inBasis[j] {
+	if j < 0 || j >= len(s.col) {
 		return 0
 	}
-	for i, bi := range s.basis {
-		if bi == j {
-			return s.xb[i]
-		}
+	if r := s.basisRowOf[j]; r >= 0 {
+		return s.xb[r]
 	}
 	return 0
 }
@@ -217,9 +250,12 @@ func (s *PackingSolver) Solve() (Status, error) {
 	dir := make([]float64, s.m)
 	stall := 0
 	for iter := 0; iter < maxIter; iter++ {
-		y := s.Duals()
+		// s.y holds the duals of the current basis, maintained across
+		// pivots in O(m); pricing reads it directly.
+		y := s.y
 		useBland := stall > 2*s.m+100
 		entering := -1
+		enterRC := 0.0
 		best := tol
 		for j, c := range s.col {
 			if s.inBasis[j] {
@@ -231,6 +267,7 @@ func (s *PackingSolver) Solve() (Status, error) {
 			}
 			if rc > best {
 				entering = j
+				enterRC = rc
 				if useBland {
 					break
 				}
@@ -241,11 +278,12 @@ func (s *PackingSolver) Solve() (Status, error) {
 			// Also consider slack re-entry (possible when duals go
 			// negative due to degeneracy); slack j has rc = −y_j.
 			for r := 0; r < s.m; r++ {
-				if s.slackBasic(r) {
+				if s.slackInBasis[r] {
 					continue
 				}
 				if -y[r] > best {
 					entering = -(r + 1)
+					enterRC = -y[r]
 					if useBland {
 						break
 					}
@@ -279,28 +317,24 @@ func (s *PackingSolver) Solve() (Status, error) {
 		} else {
 			stall = 0
 		}
-		s.pivot(leave, entering, dir, bestRatio)
+		s.pivot(leave, entering, dir, bestRatio, enterRC)
 	}
 	return StatusIterLimit, nil
 }
 
-func (s *PackingSolver) slackBasic(row int) bool {
-	want := -(row + 1)
-	for _, b := range s.basis {
-		if b == want {
-			return true
-		}
-	}
-	return false
-}
-
-func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta float64) {
+func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta, rc float64) {
 	old := s.basis[leave]
 	if old >= 0 {
 		s.inBasis[old] = false
+		s.basisRowOf[old] = -1
+	} else {
+		s.slackInBasis[-old-1] = false
 	}
 	if entering >= 0 {
 		s.inBasis[entering] = true
+		s.basisRowOf[entering] = leave
+	} else {
+		s.slackInBasis[-entering-1] = true
 	}
 	s.basis[leave] = entering
 
@@ -316,12 +350,21 @@ func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta float64)
 	}
 	s.xb[leave] = theta
 
-	// Elementary row transformation of B⁻¹.
+	// Elementary row transformation of B⁻¹, restricted to the nonzero
+	// support of the pivot row: zero pr[j] entries contribute f·0 = 0 to
+	// every row, so skipping them leaves the arithmetic bit-identical
+	// while basis inverses stay sparse (slack-heavy packing bases mostly
+	// are).
 	pr := s.binv[leave]
 	inv := 1 / dir[leave]
-	for j := range pr {
-		pr[j] *= inv
+	sup := s.supBuf[:0]
+	for j, v := range pr {
+		if v != 0 {
+			pr[j] = v * inv
+			sup = append(sup, int32(j))
+		}
 	}
+	s.supBuf = sup
 	for i := range s.binv {
 		if i == leave {
 			continue
@@ -331,8 +374,16 @@ func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta float64)
 			continue
 		}
 		row := s.binv[i]
-		for j := range row {
+		for _, j := range sup {
 			row[j] -= f * pr[j]
+		}
+	}
+	// Dual update: with entering reduced cost rc and pivot element d_r,
+	// y' = y + (rc/d_r)·(B⁻¹)_r = y + rc·(B'⁻¹)_r — pr already holds the
+	// transformed row, so the O(m²) from-scratch product is unnecessary.
+	if rc != 0 {
+		for _, j := range sup {
+			s.y[j] += rc * pr[j]
 		}
 	}
 	s.pivots++
@@ -406,4 +457,7 @@ func (s *PackingSolver) refactorize() {
 		}
 		s.xb[i] = v
 	}
+	// Wash the incremental duals along with B⁻¹: they accumulate the same
+	// floating-point drift.
+	s.computeDuals()
 }

@@ -259,3 +259,95 @@ func TestPackingRefactorizeStability(t *testing.T) {
 		t.Fatalf("after refactorization: %v != %v", ps.Objective(), dsol.Objective)
 	}
 }
+
+// Property: the incrementally maintained duals (updated in O(m) per pivot)
+// match a from-scratch c_B·B⁻¹ product after arbitrary solve / add-column
+// sequences, and the basis-row index agrees with a linear basis scan.
+func TestPackingIncrementalStateMatchesScratch(t *testing.T) {
+	checkState := func(trial int, ps *PackingSolver) {
+		t.Helper()
+		// Duals from scratch.
+		want := make([]float64, ps.m)
+		for i := 0; i < ps.m; i++ {
+			cb := ps.objOf(ps.basis[i])
+			if cb == 0 {
+				continue
+			}
+			for j := 0; j < ps.m; j++ {
+				want[j] += cb * ps.binv[i][j]
+			}
+		}
+		for j := range want {
+			if math.Abs(ps.y[j]-want[j]) > 1e-6*(1+math.Abs(want[j])) {
+				t.Fatalf("trial %d: incremental dual %d = %v, scratch %v", trial, j, ps.y[j], want[j])
+			}
+		}
+		// basisRowOf and slackInBasis against the basis definition.
+		for j := 0; j < ps.NumCols(); j++ {
+			row := -1
+			for i, bi := range ps.basis {
+				if bi == j {
+					row = i
+				}
+			}
+			if ps.basisRowOf[j] != row {
+				t.Fatalf("trial %d: basisRowOf[%d] = %d, want %d", trial, j, ps.basisRowOf[j], row)
+			}
+		}
+		for r := 0; r < ps.m; r++ {
+			want := false
+			for _, bi := range ps.basis {
+				if bi == -(r + 1) {
+					want = true
+				}
+			}
+			if ps.slackInBasis[r] != want {
+				t.Fatalf("trial %d: slackInBasis[%d] = %v, want %v", trial, r, ps.slackInBasis[r], want)
+			}
+		}
+	}
+
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 20; trial++ {
+		m := 2 + rng.Intn(7)
+		n := 2 + rng.Intn(12)
+		ps, _, _, _ := randomPacking(rng, m, n)
+		if st, _ := ps.Solve(); st != StatusOptimal {
+			t.Fatalf("trial %d: not optimal", trial)
+		}
+		checkState(trial, ps)
+		// Column generation pattern: add columns against the duals, re-solve
+		// warm, re-check.
+		y := ps.Duals()
+		for k := 0; k < 3; k++ {
+			r := rng.Intn(m)
+			obj := y[r]*2 + 0.5 // guaranteed-attractive column on row r
+			ps.AddColumn(obj, []Entry{{Index: r, Value: 1}})
+		}
+		if st, _ := ps.Solve(); st != StatusOptimal {
+			t.Fatalf("trial %d: warm re-solve not optimal", trial)
+		}
+		checkState(trial, ps)
+	}
+}
+
+// Primal(j) must agree with Primals() for every column (the O(1) basis-row
+// lookup against the slice construction).
+func TestPackingPrimalMatchesPrimals(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 10; trial++ {
+		ps, _, _, _ := randomPacking(rng, 3+rng.Intn(5), 4+rng.Intn(10))
+		if st, _ := ps.Solve(); st != StatusOptimal {
+			t.Fatalf("trial %d: not optimal", trial)
+		}
+		xs := ps.Primals()
+		for j, want := range xs {
+			if got := ps.Primal(j); got != want {
+				t.Fatalf("trial %d: Primal(%d) = %v, Primals %v", trial, j, got, want)
+			}
+		}
+		if ps.Primal(-1) != 0 || ps.Primal(ps.NumCols()) != 0 {
+			t.Fatalf("trial %d: out-of-range Primal not 0", trial)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+// Package par provides a bounded, deterministic parallel-for used by the
+// planning hot paths (column-generation pricing in internal/flow).
+//
+// The determinism contract: For and ForWorker run f(i) exactly once for
+// every index i in [0, n), and callers arrange for f(i) to write only to
+// the i-th slot of pre-allocated output storage. Under that discipline the
+// observable result is a pure function of the inputs — identical for any
+// worker count and any goroutine schedule — so a parallel run is
+// byte-identical to a serial one. The reduction (reading the slots in index
+// order) happens on the caller's goroutine after For returns.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Resolve maps a Workers knob to a concrete worker count: values <= 0 mean
+// runtime.GOMAXPROCS(0), anything else is used as given. The result is
+// additionally capped at n (no point spawning idle workers) but never
+// drops below 1.
+func Resolve(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// For runs f(i) for every i in [0, n), using at most `workers` goroutines
+// (0 = GOMAXPROCS). f must confine its writes to per-index storage; see the
+// package comment for the determinism contract. workers == 1 (or n <= 1)
+// runs serially on the calling goroutine with no synchronization overhead.
+func For(workers, n int, f func(i int)) {
+	ForWorker(workers, n, func(_, i int) { f(i) })
+}
+
+// ForWorker is For with a worker identity: f(w, i) is guaranteed w ∈
+// [0, Resolve(workers, n)), and no two calls with the same w run
+// concurrently. Callers use w to index pre-allocated per-worker scratch
+// buffers (e.g. the layered-pricing DP arrays) without locking. Indices are
+// partitioned into contiguous blocks, one block per worker, so f still runs
+// exactly once per index.
+func ForWorker(workers, n int, f func(w, i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Resolve(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			f(0, i)
+		}
+		return
+	}
+	// Contiguous block partition: worker w gets [w*q + min(w,r), ...) with
+	// the first r blocks one element longer (q = n/workers, r = n%workers).
+	q, r := n/workers, n%workers
+	var wg sync.WaitGroup
+	start := 0
+	for w := 0; w < workers; w++ {
+		size := q
+		if w < r {
+			size++
+		}
+		lo, hi := start, start+size
+		start = hi
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(w, i)
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}

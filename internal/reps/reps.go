@@ -262,16 +262,25 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		PerPair:     make([]int, len(e.Pairs)),
 	}
 
+	// The reservation events (and the sort that orders them) exist only for
+	// the tracer; skip them on bare runs. The rng stream is unaffected.
+	traced := !sched.IsNop(tr)
 	t0 := time.Now()
-	for _, c := range e.Plan.SortedCandidates() {
-		tr.AttemptReserved(c.U(), c.V(), e.Plan[c])
+	if traced {
+		for _, c := range e.Plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), e.Plan[c])
+		}
 	}
 	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
 
 	t0 = time.Now()
-	created := qnet.AttemptAllObserved(e.Plan, rng, func(c *segment.Candidate, ok bool) {
-		tr.AttemptResolved(c.U(), c.V(), ok)
-	})
+	var attemptObs qnet.AttemptObserver
+	if traced {
+		attemptObs = func(c *segment.Candidate, ok bool) {
+			tr.AttemptResolved(c.U(), c.V(), ok)
+		}
+	}
+	created := qnet.AttemptAllObserved(e.Plan, rng, attemptObs)
 	res.SegmentsCreated = len(created)
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 

@@ -103,6 +103,18 @@ func OrNop(t Tracer) Tracer {
 	return t
 }
 
+// IsNop reports whether t observes nothing (nil or NopTracer). Engines use
+// it to skip work that exists only to feed tracer callbacks — e.g. sorting
+// the attempt plan for the per-reservation events — so bare runs do not pay
+// for instrumentation they did not ask for.
+func IsNop(t Tracer) bool {
+	if t == nil {
+		return true
+	}
+	_, ok := t.(NopTracer)
+	return ok
+}
+
 // TracerCounts is a snapshot of a CountingTracer's event tallies.
 type TracerCounts struct {
 	// Slots counts completed slots (SlotEnd events).

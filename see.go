@@ -197,6 +197,11 @@ type SchedulerOptions struct {
 	// PlainObjective disables the swap-survival weighting of the LP
 	// objective (ablation; see flow.Options.SwapWeightedObjective).
 	PlainObjective bool
+	// Workers bounds the goroutines used by the scheduler's LP pricing
+	// rounds: 0 means GOMAXPROCS, 1 is fully serial. Any worker count
+	// produces a byte-identical scheduler (the parallel pricing is
+	// deterministic), so the knob trades construction latency only.
+	Workers int
 	// Tracer observes the slot pipeline phases (planning, reservation,
 	// physical attempts, stitching); nil disables instrumentation. Attach
 	// a *CountingTracer to collect phase-event counts and latencies.
@@ -267,6 +272,7 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		MinSegmentProb:     o.MinSegmentProb,
 		StrictProvisioning: o.StrictProvisioning,
 		PlainObjective:     o.PlainObjective,
+		Workers:            o.Workers,
 		Tracer:             o.Tracer,
 	})
 }
