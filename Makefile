@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke figures
+.PHONY: all build test vet race verify bench bench-smoke chaos-smoke figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -22,10 +22,21 @@ race:
 	$(GO) test -race ./...
 
 # verify is the repo's full gate: vet, build, the test suite under the
-# race detector (the experiment harness runs trials concurrently), and a
+# race detector (the experiment harness runs trials concurrently), a
 # single-iteration pass over the substrate benchmarks so perf-path
-# regressions that only bench code exercises are caught early.
-verify: vet build race bench-smoke
+# regressions that only bench code exercises are caught early, and a
+# chaos smoke that drives fault injection and the degradation ladder
+# end-to-end through the CLI.
+verify: vet build race bench-smoke chaos-smoke
+
+# chaos-smoke runs seesim with a canned fault spec plus an LP budget tight
+# enough to exercise the injector, the JSONL sink and the greedy fallback
+# in two slots.
+chaos-smoke:
+	$(GO) run ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 2 -alg all \
+		-faults 'seed=7;node=3@1-;loss=0.05;decohere=0.01' -slot-budget 5s
+	$(GO) run ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 2 -alg see \
+		-slot-budget 1ns -trace-jsonl /tmp/see-chaos-smoke.jsonl
 
 # bench records the run in BENCH_PR2.json next to the committed pre-change
 # baseline (BenchmarkColumnGeneration at commit 51e778b, serial kernel:

@@ -35,6 +35,9 @@ func main() {
 		traffic  = flag.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
 		trace    = flag.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
 		workers  = flag.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+		faults   = flag.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02\"")
+		budget   = flag.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
+		jsonl    = flag.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
 	)
 	flag.Parse()
 
@@ -59,6 +62,32 @@ func main() {
 		os.Exit(2)
 	}
 
+	var plan *see.FaultPlan
+	if *faults != "" {
+		plan, err = see.ParseFaultSpec(*faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	// Fault injection and slot budgets report through the tracer, so either
+	// flag implies counters even without -trace.
+	countInjected := plan != nil || *budget > 0
+	var jsonlTracer *see.JSONLTracer
+	if *jsonl != "" {
+		f, err := os.Create(*jsonl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jsonlTracer = see.NewJSONLTracer(f)
+		defer func() {
+			if err := jsonlTracer.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "trace-jsonl: %v\n", err)
+			}
+		}()
+	}
+
 	totals := make(map[see.Algorithm]float64, len(algs))
 	bounds := make(map[see.Algorithm]float64, len(algs))
 	tracers := make(map[see.Algorithm]*see.CountingTracer, len(algs))
@@ -74,16 +103,26 @@ func main() {
 			os.Exit(1)
 		}
 		for _, a := range algs {
-			opts := &see.SchedulerOptions{Workers: *workers}
-			if *trace {
-				opts.Tracer = tracers[a]
+			opts := &see.SchedulerOptions{
+				Workers:    *workers,
+				Faults:     plan,
+				SlotBudget: *budget,
+			}
+			var ts []see.Tracer
+			if *trace || countInjected {
+				ts = append(ts, tracers[a])
+			}
+			if jsonlTracer != nil {
+				ts = append(ts, jsonlTracer)
+			}
+			if len(ts) > 0 {
+				opts.Tracer = see.MultiTracer(ts...)
 			}
 			sc, err := see.NewScheduler(a, net, sdPairs, opts)
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
 				os.Exit(1)
 			}
-			bounds[a] += sc.UpperBound()
 			rng := xrand.ForTrial(trialSeed, 1000)
 			for s := 0; s < *slots; s++ {
 				res, err := sc.RunSlot(rng)
@@ -93,6 +132,9 @@ func main() {
 				}
 				totals[a] += float64(res.Established)
 			}
+			// Read the bound after the slots: under -slot-budget the LP is
+			// built lazily inside the first slot, so the bound is 0 before.
+			bounds[a] += sc.UpperBound()
 		}
 		slotCount += *slots
 	}
@@ -111,6 +153,17 @@ func main() {
 	if *trace {
 		for _, a := range algs {
 			fmt.Printf("\n# %v pipeline\n%s\n", a, tracers[a])
+		}
+	}
+	if countInjected {
+		fmt.Printf("\n# incidents (faults=%q slot-budget=%v)\n", *faults, *budget)
+		for _, a := range algs {
+			c := tracers[a].Counts()
+			fmt.Printf("%-6v", a)
+			for k := see.Incident(0); k < see.Incident(len(c.Incidents)); k++ {
+				fmt.Printf(" %s=%d", k, c.IncidentCount(k))
+			}
+			fmt.Println()
 		}
 	}
 }

@@ -2,6 +2,7 @@ package see
 
 import (
 	"fmt"
+	"time"
 
 	"see/internal/experiment"
 )
@@ -26,6 +27,12 @@ type ExperimentParams struct {
 	// trials run concurrently, so it must be safe for concurrent use
 	// (CountingTracer is). nil disables instrumentation.
 	Tracer Tracer
+	// Faults applies a deterministic fault schedule to every trial (each
+	// engine gets its own injector); nil disables fault injection.
+	Faults *FaultPlan
+	// SlotBudget bounds each engine's LP solve; on timeout the slot
+	// degrades to the Greedy fallback. Zero means no budget.
+	SlotBudget time.Duration
 }
 
 // DefaultExperimentParams returns the paper's defaults with 100 trials.
@@ -68,6 +75,8 @@ func (p ExperimentParams) toInternal() experiment.Params {
 		in.BaseSeed = p.Seed
 	}
 	in.Tracer = p.Tracer
+	in.Faults = p.Faults
+	in.SlotBudget = p.SlotBudget
 	return in
 }
 

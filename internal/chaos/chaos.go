@@ -1,0 +1,438 @@
+// Package chaos is the deterministic fault-injection substrate of the
+// simulator. A FaultPlan describes, from a single seed, every failure the
+// run will experience — node crash/recover windows, link down windows,
+// controller↔node message loss and quantum-memory decoherence — and an
+// Injector evaluates the plan slot by slot for one engine.
+//
+// Determinism contract: every fault decision is a pure function of
+// (plan, slot, event sequence number), computed by hashing rather than by
+// drawing from the engines' rng streams. Consequently
+//
+//   - a faulty run is exactly reproducible from (engine seed, fault plan),
+//     and
+//   - an Injector built from a zero FaultPlan is inert: engines gate all
+//     chaos work on Active(), so their output is byte-identical to a run
+//     with no injector attached at all.
+//
+// Engines consult the injector through the qnet.FaultModel hooks
+// (CandidateBlocked / SegmentDecohered) plus PathBlocked and NodeDown; the
+// protocol bus consults DropDelivery. A crashed node takes its incident
+// links down with it (its optical switch and detectors are offline), which
+// the injector precomputes per slot from the network adjacency.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"see/internal/graph"
+	"see/internal/segment"
+	"see/internal/topo"
+)
+
+// Window is a half-open slot interval [From, To) during which one element
+// (node or link) is down. To <= 0 means "down from From forever".
+type Window struct {
+	// ID is the node or link identifier.
+	ID int
+	// From is the first slot of the outage.
+	From int
+	// To is the first slot after recovery; <= 0 means no recovery.
+	To int
+}
+
+// Covers reports whether the window is down at the given slot.
+func (w Window) Covers(slot int) bool {
+	return slot >= w.From && (w.To <= 0 || slot < w.To)
+}
+
+// FaultPlan is a complete, seeded failure schedule. The zero value injects
+// nothing.
+type FaultPlan struct {
+	// Seed drives the message-loss and decoherence hash streams.
+	Seed int64
+	// NodeOutages lists node crash windows (a crashed node also takes its
+	// incident links down).
+	NodeOutages []Window
+	// LinkOutages lists link down windows.
+	LinkOutages []Window
+	// MsgLoss is the per-delivery probability that the protocol bus drops
+	// a message in transit.
+	MsgLoss float64
+	// Decoherence is the per-slot probability that a realized entanglement
+	// segment decoheres before the stitch phase can use it.
+	Decoherence float64
+}
+
+// IsZero reports whether the plan injects no faults at all.
+func (p *FaultPlan) IsZero() bool {
+	return p == nil ||
+		(len(p.NodeOutages) == 0 && len(p.LinkOutages) == 0 &&
+			p.MsgLoss == 0 && p.Decoherence == 0)
+}
+
+// Validate checks the plan against a network's node and link counts.
+func (p *FaultPlan) Validate(numNodes, numLinks int) error {
+	if p == nil {
+		return nil
+	}
+	for _, w := range p.NodeOutages {
+		if w.ID < 0 || w.ID >= numNodes {
+			return fmt.Errorf("chaos: node outage id %d outside [0,%d)", w.ID, numNodes)
+		}
+		if w.To > 0 && w.To <= w.From {
+			return fmt.Errorf("chaos: node %d outage window [%d,%d) is empty", w.ID, w.From, w.To)
+		}
+	}
+	for _, w := range p.LinkOutages {
+		if w.ID < 0 || w.ID >= numLinks {
+			return fmt.Errorf("chaos: link outage id %d outside [0,%d)", w.ID, numLinks)
+		}
+		if w.To > 0 && w.To <= w.From {
+			return fmt.Errorf("chaos: link %d outage window [%d,%d) is empty", w.ID, w.From, w.To)
+		}
+	}
+	if p.MsgLoss < 0 || p.MsgLoss > 1 || math.IsNaN(p.MsgLoss) {
+		return fmt.Errorf("chaos: message loss probability %v outside [0,1]", p.MsgLoss)
+	}
+	if p.Decoherence < 0 || p.Decoherence > 1 || math.IsNaN(p.Decoherence) {
+		return fmt.Errorf("chaos: decoherence probability %v outside [0,1]", p.Decoherence)
+	}
+	return nil
+}
+
+// String renders the plan in the canonical spec grammar accepted by
+// ParseSpec.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	var parts []string
+	if p.Seed != 0 {
+		parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	}
+	for _, w := range p.NodeOutages {
+		parts = append(parts, "node="+w.spec())
+	}
+	for _, w := range p.LinkOutages {
+		parts = append(parts, "link="+w.spec())
+	}
+	if p.MsgLoss > 0 {
+		parts = append(parts, fmt.Sprintf("loss=%g", p.MsgLoss))
+	}
+	if p.Decoherence > 0 {
+		parts = append(parts, fmt.Sprintf("decohere=%g", p.Decoherence))
+	}
+	return strings.Join(parts, ";")
+}
+
+func (w Window) spec() string {
+	if w.From == 0 && w.To <= 0 {
+		return strconv.Itoa(w.ID)
+	}
+	to := ""
+	if w.To > 0 {
+		to = strconv.Itoa(w.To)
+	}
+	return fmt.Sprintf("%d@%d-%s", w.ID, w.From, to)
+}
+
+// ParseSpec parses the compact fault-spec grammar used by the -faults flag:
+//
+//	seed=7;node=3@2-5;node=4;link=10@1-;loss=0.05;decohere=0.02
+//
+// Items are separated by ';' or ','. node/link items take an element ID and
+// an optional slot window "@from-to"; omitting the window means "down for
+// the whole run", omitting "to" means "down from <from> onward". loss and
+// decohere are probabilities in [0,1]. An empty string is the zero plan.
+func ParseSpec(s string) (*FaultPlan, error) {
+	p := &FaultPlan{}
+	for _, item := range strings.FieldsFunc(s, func(r rune) bool { return r == ';' || r == ',' }) {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("chaos: spec item %q is not key=value", item)
+		}
+		switch key {
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad seed %q: %v", val, err)
+			}
+			p.Seed = v
+		case "node", "link":
+			w, err := parseWindow(val)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: bad %s spec %q: %v", key, val, err)
+			}
+			if key == "node" {
+				p.NodeOutages = append(p.NodeOutages, w)
+			} else {
+				p.LinkOutages = append(p.LinkOutages, w)
+			}
+		case "loss", "decohere":
+			v, err := strconv.ParseFloat(val, 64)
+			if err != nil || v < 0 || v > 1 {
+				return nil, fmt.Errorf("chaos: bad %s probability %q (want [0,1])", key, val)
+			}
+			if key == "loss" {
+				p.MsgLoss = v
+			} else {
+				p.Decoherence = v
+			}
+		default:
+			return nil, fmt.Errorf("chaos: unknown spec key %q (want seed, node, link, loss or decohere)", key)
+		}
+	}
+	return p, nil
+}
+
+func parseWindow(s string) (Window, error) {
+	idStr, win, hasWin := strings.Cut(s, "@")
+	id, err := strconv.Atoi(idStr)
+	if err != nil || id < 0 {
+		return Window{}, fmt.Errorf("bad element id %q", idStr)
+	}
+	w := Window{ID: id}
+	if !hasWin {
+		return w, nil
+	}
+	fromStr, toStr, ok := strings.Cut(win, "-")
+	if !ok {
+		return Window{}, fmt.Errorf("window %q is not from-to", win)
+	}
+	if w.From, err = strconv.Atoi(fromStr); err != nil || w.From < 0 {
+		return Window{}, fmt.Errorf("bad window start %q", fromStr)
+	}
+	if toStr != "" {
+		if w.To, err = strconv.Atoi(toStr); err != nil || w.To <= w.From {
+			return Window{}, fmt.Errorf("bad window end %q (must exceed start)", toStr)
+		}
+	}
+	return w, nil
+}
+
+// Counts tallies the faults an Injector has injected so far.
+type Counts struct {
+	// NodeSlotsDown / LinkSlotsDown accumulate (element, slot) outage
+	// pairs over the slots begun so far.
+	NodeSlotsDown int
+	LinkSlotsDown int
+	// PathsBlocked counts planned entanglement paths discarded because a
+	// node on them was down.
+	PathsBlocked int
+	// RoutesBlocked counts candidate routes whose reserved creation
+	// attempts all failed because a node or link on the route was down.
+	RoutesBlocked int
+	// SegmentsDecohered counts realized segments destroyed by memory
+	// decoherence before the stitch phase.
+	SegmentsDecohered int
+	// MessagesDropped counts bus deliveries dropped in transit.
+	MessagesDropped int
+}
+
+// Total sums every injected-fault counter.
+func (c Counts) Total() int {
+	return c.NodeSlotsDown + c.LinkSlotsDown + c.PathsBlocked +
+		c.RoutesBlocked + c.SegmentsDecohered + c.MessagesDropped
+}
+
+// Injector evaluates one FaultPlan for one engine, slot by slot. It is not
+// safe for concurrent use; build one injector per engine (the experiment
+// harness builds per-trial engines, so each trial owns its injectors).
+// All methods are safe on a nil receiver, which behaves as "no faults".
+type Injector struct {
+	plan   FaultPlan
+	net    *topo.Network
+	active bool
+
+	slot     int
+	downNode []bool
+	downLink []bool
+	decoSeq  int
+	counts   Counts
+}
+
+// NewInjector builds an injector for the plan over the network. A nil or
+// zero plan yields an inert injector (Active() == false). The plan is
+// validated against the network.
+func NewInjector(plan *FaultPlan, net *topo.Network) (*Injector, error) {
+	in := &Injector{slot: -1, net: net}
+	if plan != nil {
+		if err := plan.Validate(net.NumNodes(), net.NumLinks()); err != nil {
+			return nil, err
+		}
+		in.plan = *plan
+	}
+	in.active = !in.plan.IsZero()
+	in.downNode = make([]bool, net.NumNodes())
+	in.downLink = make([]bool, net.NumLinks())
+	return in, nil
+}
+
+// Active reports whether the injector can ever inject a fault. Engines gate
+// every chaos code path on it so inert injectors cost (and change) nothing.
+func (in *Injector) Active() bool { return in != nil && in.active }
+
+// Slot returns the current slot index (-1 before the first BeginSlot).
+func (in *Injector) Slot() int {
+	if in == nil {
+		return -1
+	}
+	return in.slot
+}
+
+// BeginSlot advances to the next slot and recomputes the down sets. Engines
+// call it at the top of RunSlot. It returns the new slot index.
+func (in *Injector) BeginSlot() int {
+	if in == nil {
+		return -1
+	}
+	in.slot++
+	in.decoSeq = 0
+	if !in.active {
+		return in.slot
+	}
+	for i := range in.downNode {
+		in.downNode[i] = false
+	}
+	for i := range in.downLink {
+		in.downLink[i] = false
+	}
+	for _, w := range in.plan.NodeOutages {
+		if w.Covers(in.slot) && !in.downNode[w.ID] {
+			in.downNode[w.ID] = true
+			in.counts.NodeSlotsDown++
+			// The crashed node's optical switch and detectors are offline,
+			// so every incident link is unusable too.
+			for _, id := range in.net.IncidentLinks(w.ID) {
+				in.downLink[id] = true
+			}
+		}
+	}
+	for _, w := range in.plan.LinkOutages {
+		if w.Covers(in.slot) && !in.downLink[w.ID] {
+			in.downLink[w.ID] = true
+			in.counts.LinkSlotsDown++
+		}
+	}
+	return in.slot
+}
+
+// NodeDown reports whether a node is crashed in the current slot.
+func (in *Injector) NodeDown(v int) bool {
+	return in.Active() && in.downNode[v]
+}
+
+// LinkDown reports whether a link is down in the current slot (directly, or
+// because an endpoint crashed).
+func (in *Injector) LinkDown(id int) bool {
+	return in.Active() && in.downLink[id]
+}
+
+// PathBlocked reports whether any node of an entanglement path is down, and
+// counts the blocked path.
+func (in *Injector) PathBlocked(nodes graph.Path) bool {
+	if !in.Active() {
+		return false
+	}
+	for _, v := range nodes {
+		if in.downNode[v] {
+			in.counts.PathsBlocked++
+			return true
+		}
+	}
+	return false
+}
+
+// CandidateBlocked implements qnet.FaultModel: a creation attempt over the
+// candidate fails outright when any physical node (endpoint or all-optical
+// interior) or link of its route is down. Blocked attempts are counted.
+func (in *Injector) CandidateBlocked(c *segment.Candidate) bool {
+	if !in.Active() {
+		return false
+	}
+	for _, v := range c.Path {
+		if in.downNode[v] {
+			in.counts.RoutesBlocked++
+			return true
+		}
+	}
+	for _, id := range c.EdgeIDs {
+		if in.downLink[id] {
+			in.counts.RoutesBlocked++
+			return true
+		}
+	}
+	return false
+}
+
+// SegmentDecohered implements qnet.FaultModel: realized segment number seq
+// of the current slot decoheres with the plan's probability, decided by
+// hashing (plan seed, slot, seq) — never by the engine's rng.
+func (in *Injector) SegmentDecohered() bool {
+	if !in.Active() || in.plan.Decoherence <= 0 {
+		return false
+	}
+	seq := in.decoSeq
+	in.decoSeq++
+	if hash01(in.plan.Seed, 0xdec0, in.slot, seq) < in.plan.Decoherence {
+		in.counts.SegmentsDecohered++
+		return true
+	}
+	return false
+}
+
+// DropDelivery reports whether the protocol bus drops delivery attempt
+// `attempt` of message `seq` in the current slot. Deterministic in
+// (plan seed, slot, seq, attempt); drops are counted.
+func (in *Injector) DropDelivery(seq, attempt int) bool {
+	if !in.Active() || in.plan.MsgLoss <= 0 {
+		return false
+	}
+	if hash01(in.plan.Seed, 0x10e5, in.slot, seq<<8|attempt&0xff) < in.plan.MsgLoss {
+		in.counts.MessagesDropped++
+		return true
+	}
+	return false
+}
+
+// Counts returns the injected-fault tallies so far.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.counts
+}
+
+// DownNodes returns the sorted nodes down in the current slot.
+func (in *Injector) DownNodes() []int {
+	if !in.Active() {
+		return nil
+	}
+	var out []int
+	for v, d := range in.downNode {
+		if d {
+			out = append(out, v)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// hash01 maps (seed, kind, slot, seq) to a uniform-ish value in [0, 1)
+// with a SplitMix64-style finalizer.
+func hash01(seed int64, kind, slot, seq int) float64 {
+	z := uint64(seed) ^ uint64(kind)<<48 ^ uint64(uint32(slot))<<16 ^ uint64(uint32(seq))
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}

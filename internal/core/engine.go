@@ -17,11 +17,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
+	"see/internal/chaos"
 	"see/internal/flow"
 	"see/internal/qnet"
 	"see/internal/sched"
@@ -47,6 +49,12 @@ type Options struct {
 	Algorithm sched.Algorithm
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
+	// Chaos injects deterministic faults into the physical phase (blocked
+	// routes, memory decoherence); nil or a zero-plan injector leaves the
+	// engine byte-identical to a run without any chaos layer. The
+	// controller stays unaware of outages: planning and reservation are
+	// untouched, attempts over down routes simply fail.
+	Chaos *chaos.Injector
 }
 
 // DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
@@ -82,6 +90,15 @@ var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine builds the candidate set and solves the LP relaxation.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	return NewEngineCtx(nil, net, pairs, opts)
+}
+
+// NewEngineCtx is NewEngine with the LP relaxation solve bounded by a
+// context (nil = never cancelled). An expired deadline aborts construction
+// with an error wrapping ctx.Err(); the degradation ladder in
+// internal/engines uses this to fall back to the greedy engine when the
+// solve blows its slot budget.
+func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
 	if net == nil {
 		return nil, errors.New("core: nil network")
 	}
@@ -92,7 +109,7 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	if err != nil {
 		return nil, fmt.Errorf("core: building candidates: %w", err)
 	}
-	sol, err := flow.Solve(set, opts.Flow)
+	sol, err := flow.SolveCtx(ctx, set, opts.Flow)
 	if err != nil {
 		return nil, fmt.Errorf("core: solving LP relaxation: %w", err)
 	}
@@ -153,6 +170,17 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		PerPair:     make([]int, len(e.Pairs)),
 	}
 
+	// Chaos: advance the injector's slot clock. With a nil or zero-plan
+	// injector fm stays nil and every fault check below short-circuits, so
+	// the slot is byte-identical to a run without the chaos layer.
+	var fm qnet.FaultModel
+	faultsBefore := 0
+	if e.opts.Chaos.Active() {
+		e.opts.Chaos.BeginSlot()
+		faultsBefore = e.opts.Chaos.Counts().Total()
+		fm = e.opts.Chaos
+	}
+
 	// Step i: EPI identifies entanglement paths.
 	t0 := time.Now()
 	planned := e.identifyPaths(rng)
@@ -190,8 +218,17 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllObserved(plan, rng, attemptObs)
+	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
 	res.SegmentsCreated = len(created)
+	// Memory decoherence loses realized segments before the stitch phase;
+	// SegmentsCreated still reconciles with the created=true attempt
+	// events, the survivors are what ECE gets to work with.
+	created, _ = qnet.ApplyDecoherence(created, fm)
+	if fm != nil {
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+			tr.Incident(sched.IncidentFault, d)
+		}
+	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 
 	// Steps iii–iv: ECE assembles connections from realized segments,

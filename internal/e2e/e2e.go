@@ -7,8 +7,10 @@
 package e2e
 
 import (
+	"context"
 	"math/rand"
 
+	"see/internal/chaos"
 	"see/internal/core"
 	"see/internal/sched"
 	"see/internal/topo"
@@ -27,6 +29,9 @@ type Options struct {
 	Workers int
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
+	// Chaos injects deterministic faults into the physical phase; see the
+	// matching field in core.Options.
+	Chaos *chaos.Injector
 }
 
 // Engine runs E2E time slots.
@@ -38,6 +43,12 @@ var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine builds the E2E baseline over the network.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	return NewEngineCtx(nil, net, pairs, opts)
+}
+
+// NewEngineCtx is NewEngine with the LP solve bounded by a context
+// (nil = never cancelled); see core.NewEngineCtx.
+func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
 	coreOpts := core.DefaultOptions()
 	coreOpts.Segment.FullPathOnly = true
 	coreOpts.Segment.MinProb = 0 // E2E keeps attempting even hopeless routes
@@ -48,7 +59,8 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	coreOpts.Algorithm = sched.E2E
 	coreOpts.Flow.Workers = opts.Workers
 	coreOpts.Tracer = opts.Tracer
-	inner, err := core.NewEngine(net, pairs, coreOpts)
+	coreOpts.Chaos = opts.Chaos
+	inner, err := core.NewEngineCtx(ctx, net, pairs, coreOpts)
 	if err != nil {
 		return nil, err
 	}

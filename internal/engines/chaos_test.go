@@ -1,0 +1,195 @@
+package engines
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"see/internal/chaos"
+	"see/internal/sched"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+// allAlgorithms is the paper trio plus the repo-grown greedy baseline.
+var allAlgorithms = append(append([]sched.Algorithm(nil), sched.Algorithms...), sched.Greedy)
+
+// runSlots builds the engine and returns every SlotResult from a fixed
+// seed schedule.
+func runSlots(t *testing.T, alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config, slots int) []sched.SlotResult {
+	t.Helper()
+	eng, err := New(alg, net, pairs, cfg)
+	if err != nil {
+		t.Fatalf("New(%v): %v", alg, err)
+	}
+	rng := xrand.New(99)
+	out := make([]sched.SlotResult, 0, slots)
+	for s := 0; s < slots; s++ {
+		res, err := eng.RunSlot(rng)
+		if err != nil {
+			t.Fatalf("RunSlot(%v): %v", alg, err)
+		}
+		out = append(out, *res)
+	}
+	return out
+}
+
+// TestZeroFaultPlanByteIdentical is the chaos determinism contract: with a
+// zero FaultPlan every engine must produce results byte-identical to a run
+// with no chaos layer at all — the injector may not consume randomness or
+// perturb any code path when it has nothing to inject.
+func TestZeroFaultPlanByteIdentical(t *testing.T) {
+	net, pairs := topo.Motivation()
+	genCfg := topo.DefaultConfig()
+	genCfg.Nodes = 40
+	gen, err := topo.Generate(genCfg, xrand.New(5))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	genPairs := topo.ChooseSDPairs(gen, 6, xrand.New(6))
+
+	nets := []struct {
+		name  string
+		net   *topo.Network
+		pairs []topo.SDPair
+	}{
+		{"motivation", net, pairs},
+		{"waxman40", gen, genPairs},
+	}
+	for _, tc := range nets {
+		for _, alg := range allAlgorithms {
+			t.Run(tc.name+"/"+alg.String(), func(t *testing.T) {
+				plain := runSlots(t, alg, tc.net, tc.pairs, Config{}, 8)
+				inj, err := chaos.NewInjector(&chaos.FaultPlan{}, tc.net)
+				if err != nil {
+					t.Fatalf("NewInjector: %v", err)
+				}
+				chaotic := runSlots(t, alg, tc.net, tc.pairs, Config{Chaos: inj}, 8)
+				if !reflect.DeepEqual(plain, chaotic) {
+					t.Fatalf("zero fault plan changed results:\nplain:   %+v\nchaotic: %+v", plain, chaotic)
+				}
+				if inj.Counts().Total() != 0 {
+					t.Errorf("zero plan counted faults: %+v", inj.Counts())
+				}
+			})
+		}
+	}
+}
+
+// TestFaultsReportedThroughTracer checks that a plan which certainly fires
+// (every node down) is both counted by the injector and surfaced as
+// IncidentFault through the tracer, and that the slot still completes.
+func TestFaultsReportedThroughTracer(t *testing.T) {
+	net, pairs := topo.Motivation()
+	plan := &chaos.FaultPlan{}
+	for v := 0; v < net.NumNodes(); v++ {
+		plan.NodeOutages = append(plan.NodeOutages, chaos.Window{ID: v, From: 0})
+	}
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			inj, err := chaos.NewInjector(plan, net)
+			if err != nil {
+				t.Fatalf("NewInjector: %v", err)
+			}
+			tr := sched.NewCountingTracer()
+			eng, err := New(alg, net, pairs, Config{Chaos: inj, Tracer: tr})
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res, err := eng.RunSlot(xrand.New(1))
+			if err != nil {
+				t.Fatalf("RunSlot: %v", err)
+			}
+			if res.SegmentsCreated != 0 || res.Established != 0 {
+				t.Errorf("all nodes down but created %d segments, established %d",
+					res.SegmentsCreated, res.Established)
+			}
+			if inj.Counts().RoutesBlocked == 0 {
+				t.Error("no routes blocked with every node down")
+			}
+			if tr.Counts().IncidentCount(sched.IncidentFault) == 0 {
+				t.Error("faults not reported through tracer")
+			}
+		})
+	}
+}
+
+// TestResilientDegradation forces the LP construction over an impossible
+// budget: every slot must degrade to the greedy fallback, still attempt
+// paths, and report the degradations and bounded retries via the tracer.
+func TestResilientDegradation(t *testing.T) {
+	net, pairs := topo.Motivation()
+	tr := sched.NewCountingTracer()
+	r, err := NewResilient(sched.SEE, net, pairs, Config{Tracer: tr}, time.Nanosecond)
+	if err != nil {
+		t.Fatalf("NewResilient: %v", err)
+	}
+	if got := r.Algorithm(); got != sched.SEE {
+		t.Errorf("Algorithm() = %v, want SEE", got)
+	}
+	rng := xrand.New(4)
+	const slots = 6
+	attempted := 0
+	for s := 0; s < slots; s++ {
+		res, err := r.RunSlot(rng)
+		if err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		attempted += res.Attempts
+		if res.PlannedPaths == 0 {
+			t.Errorf("slot %d: degraded slot planned no paths", s)
+		}
+	}
+	if attempted == 0 {
+		t.Error("no attempts across degraded slots")
+	}
+	c := tr.Counts()
+	if got := c.IncidentCount(sched.IncidentDegraded); got != slots {
+		t.Errorf("degraded incidents = %d, want %d", got, slots)
+	}
+	// Construction is tried on slots 0..maxConstructionRetries, and only
+	// retries (not the first try) are incidents.
+	if got := c.IncidentCount(sched.IncidentRetry); got != maxConstructionRetries {
+		t.Errorf("retry incidents = %d, want %d", got, maxConstructionRetries)
+	}
+	degraded, lastErr := r.Degraded()
+	if !degraded || lastErr == nil {
+		t.Errorf("Degraded() = %v, %v; want true with error", degraded, lastErr)
+	}
+	if r.UpperBound() <= 0 {
+		t.Errorf("fallback bound = %v, want > 0", r.UpperBound())
+	}
+}
+
+// TestResilientHealthy checks the other side of the ladder: with a generous
+// budget the resilient wrapper must behave exactly like the plain engine.
+func TestResilientHealthy(t *testing.T) {
+	net, pairs := topo.Motivation()
+	for _, alg := range allAlgorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			plain := runSlots(t, alg, net, pairs, Config{}, 5)
+			tr := sched.NewCountingTracer()
+			r, err := NewResilient(alg, net, pairs, Config{Tracer: tr}, time.Minute)
+			if err != nil {
+				t.Fatalf("NewResilient: %v", err)
+			}
+			rng := xrand.New(99)
+			for s := 0; s < 5; s++ {
+				res, err := r.RunSlot(rng)
+				if err != nil {
+					t.Fatalf("slot %d: %v", s, err)
+				}
+				if !reflect.DeepEqual(*res, plain[s]) {
+					t.Fatalf("slot %d diverged from plain engine:\nplain:     %+v\nresilient: %+v", s, plain[s], *res)
+				}
+			}
+			c := tr.Counts()
+			if c.IncidentCount(sched.IncidentDegraded) != 0 || c.IncidentCount(sched.IncidentRetry) != 0 {
+				t.Errorf("healthy run reported incidents: %+v", c.Incidents)
+			}
+			if degraded, _ := r.Degraded(); degraded {
+				t.Error("healthy run reports degraded")
+			}
+		})
+	}
+}

@@ -1,17 +1,28 @@
 // Package engines is the single construction point for the slot-pipeline
 // engines: it maps a sched.Algorithm to the package implementing it
-// (internal/core, internal/reps, internal/e2e) and translates the shared
-// Config into each engine's options. Both the public API (package see) and
-// the experiment harness build engines here, so no algorithm type-switch
-// exists anywhere else.
+// (internal/core, internal/reps, internal/e2e, internal/greedy) and
+// translates the shared Config into each engine's options. Both the public
+// API (package see) and the experiment harness build engines here, so no
+// algorithm type-switch exists anywhere else.
+//
+// The package also owns the degradation ladder (NewResilient): when an
+// LP-based engine's construction exceeds its slot budget or fails, the
+// scheduler falls back to the greedy non-LP engine for the affected slots
+// and retries the LP a bounded number of times, reporting every step
+// through the tracer (see DESIGN.md "Fault model & degradation ladder").
 package engines
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/rand"
+	"time"
 
+	"see/internal/chaos"
 	"see/internal/core"
 	"see/internal/e2e"
+	"see/internal/greedy"
 	"see/internal/reps"
 	"see/internal/sched"
 	"see/internal/topo"
@@ -21,7 +32,7 @@ import (
 // scheme.
 type Config struct {
 	// KPaths is the Yen candidate-path budget per SD pair (0 = default:
-	// 5 for SEE/REPS, 1 for E2E).
+	// 5 for SEE/REPS/Greedy, 1 for E2E).
 	KPaths int
 	// MaxSegmentHops caps physical hops per entanglement segment for SEE
 	// (0 = default 10).
@@ -41,20 +52,34 @@ type Config struct {
 	Workers int
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
+	// Chaos injects deterministic faults into every engine's physical
+	// phase; nil (or a zero-plan injector) leaves engines byte-identical
+	// to a run without the chaos layer.
+	Chaos *chaos.Injector
 }
 
-// Builder constructs one scheme's engine.
-type Builder func(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error)
+// Builder constructs one scheme's engine; ctx (nil = never cancelled)
+// bounds any LP solves the construction performs.
+type Builder func(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error)
 
 // builders is the algorithm registry.
 var builders = map[sched.Algorithm]Builder{
-	sched.SEE:  newSEE,
-	sched.REPS: newREPS,
-	sched.E2E:  newE2E,
+	sched.SEE:    newSEE,
+	sched.REPS:   newREPS,
+	sched.E2E:    newE2E,
+	sched.Greedy: newGreedy,
 }
 
 // New builds the engine for the given algorithm.
 func New(alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return NewCtx(nil, alg, net, pairs, cfg)
+}
+
+// NewCtx is New with construction bounded by a context (nil = never
+// cancelled): LP-based engines abort their solve with an error wrapping
+// ctx.Err() once the deadline expires. The greedy engine solves no LP and
+// ignores the context.
+func NewCtx(ctx context.Context, alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
 	if net == nil {
 		return nil, errors.New("engines: nil network")
 	}
@@ -62,10 +87,10 @@ func New(alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config
 	if !ok {
 		return nil, fmt.Errorf("engines: unknown algorithm %v", alg)
 	}
-	return b(net, pairs, cfg)
+	return b(ctx, net, pairs, cfg)
 }
 
-func newSEE(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+func newSEE(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
 	co := core.DefaultOptions()
 	if cfg.KPaths > 0 {
 		co.Segment.KPaths = cfg.KPaths
@@ -80,15 +105,149 @@ func newSEE(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, e
 	co.Flow.SwapWeightedObjective = !cfg.PlainObjective
 	co.Flow.Workers = cfg.Workers
 	co.Tracer = cfg.Tracer
-	return core.NewEngine(net, pairs, co)
+	co.Chaos = cfg.Chaos
+	return core.NewEngineCtx(ctx, net, pairs, co)
 }
 
-func newREPS(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer}
+func newREPS(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer, Chaos: cfg.Chaos}
 	o.Flow.Workers = cfg.Workers
-	return reps.NewEngine(net, pairs, o)
+	return reps.NewEngineCtx(ctx, net, pairs, o)
 }
 
-func newE2E(net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	return e2e.NewEngine(net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer})
+func newE2E(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos})
+}
+
+func newGreedy(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	o := greedy.DefaultOptions()
+	if cfg.KPaths > 0 {
+		o.Segment.KPaths = cfg.KPaths
+	}
+	if cfg.MaxSegmentHops > 0 {
+		o.Segment.MaxSegmentHops = cfg.MaxSegmentHops
+	}
+	if cfg.MinSegmentProb > 0 {
+		o.Segment.MinProb = cfg.MinSegmentProb
+	}
+	o.Tracer = cfg.Tracer
+	o.Chaos = cfg.Chaos
+	return greedy.NewEngine(net, pairs, o)
+}
+
+// maxConstructionRetries bounds how many slots retry a failed LP
+// construction before the resilient engine settles on the greedy fallback
+// for good.
+const maxConstructionRetries = 3
+
+// Resilient is the degradation ladder around an LP-based engine. The
+// primary engine's LP solve happens lazily inside the first RunSlot under
+// the slot budget, so a solve that blows the budget degrades that same
+// slot to the greedy fallback — the slot still completes with nonzero
+// attempted paths. Later slots retry the LP up to maxConstructionRetries
+// times (each retry reported as sched.IncidentRetry, each degraded slot as
+// sched.IncidentDegraded) before settling on the fallback permanently.
+type Resilient struct {
+	alg    sched.Algorithm
+	net    *topo.Network
+	pairs  []topo.SDPair
+	cfg    Config
+	budget time.Duration
+	tracer sched.Tracer
+
+	primary  sched.Engine
+	fallback sched.Engine
+	failures int
+	lastErr  error
+}
+
+var _ sched.Engine = (*Resilient)(nil)
+
+// NewResilient wraps the algorithm in the degradation ladder. budget <= 0
+// means no deadline (the primary still degrades on solver errors or
+// panics). The network and configuration are validated eagerly, but the
+// primary's LP is deferred to the first slot.
+func NewResilient(alg sched.Algorithm, net *topo.Network, pairs []topo.SDPair, cfg Config, budget time.Duration) (*Resilient, error) {
+	if net == nil {
+		return nil, errors.New("engines: nil network")
+	}
+	if _, ok := builders[alg]; !ok {
+		return nil, fmt.Errorf("engines: unknown algorithm %v", alg)
+	}
+	return &Resilient{
+		alg:    alg,
+		net:    net,
+		pairs:  pairs,
+		cfg:    cfg,
+		budget: budget,
+		tracer: sched.OrNop(cfg.Tracer),
+	}, nil
+}
+
+// buildPrimary attempts the budgeted LP construction, converting panics
+// (e.g. a par.WorkerPanic escaping a pricing worker) into errors so one
+// broken solve degrades the slot instead of killing the process.
+func (r *Resilient) buildPrimary() (eng sched.Engine, err error) {
+	ctx := context.Context(nil)
+	cancel := func() {}
+	if r.budget > 0 {
+		ctx, cancel = context.WithTimeout(context.Background(), r.budget)
+	}
+	defer cancel()
+	defer func() {
+		if v := recover(); v != nil {
+			err = fmt.Errorf("engines: construction panic: %v", v)
+		}
+	}()
+	return NewCtx(ctx, r.alg, r.net, r.pairs, r.cfg)
+}
+
+// RunSlot serves the slot with the primary engine when available, else
+// degrades to the greedy fallback.
+func (r *Resilient) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
+	if r.primary == nil && r.failures <= maxConstructionRetries {
+		if r.failures > 0 {
+			r.tracer.Incident(sched.IncidentRetry, 1)
+		}
+		eng, err := r.buildPrimary()
+		if err != nil {
+			r.failures++
+			r.lastErr = err
+		} else {
+			r.primary = eng
+		}
+	}
+	if r.primary != nil {
+		return r.primary.RunSlot(rng)
+	}
+	if r.fallback == nil {
+		eng, err := newGreedy(nil, r.net, r.pairs, r.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("engines: greedy fallback: %w (primary: %v)", err, r.lastErr)
+		}
+		r.fallback = eng
+	}
+	r.tracer.Incident(sched.IncidentDegraded, 1)
+	return r.fallback.RunSlot(rng)
+}
+
+// Algorithm reports the scheme the caller asked for, degraded or not.
+func (r *Resilient) Algorithm() sched.Algorithm { return r.alg }
+
+// UpperBound returns the primary's LP bound when available, else the
+// fallback's heuristic value (0 before any slot has run).
+func (r *Resilient) UpperBound() float64 {
+	if r.primary != nil {
+		return r.primary.UpperBound()
+	}
+	if r.fallback != nil {
+		return r.fallback.UpperBound()
+	}
+	return 0
+}
+
+// Degraded reports how the ladder stands: whether the primary is
+// unavailable and the error of its last failed construction.
+func (r *Resilient) Degraded() (bool, error) {
+	return r.primary == nil && r.failures > 0, r.lastErr
 }

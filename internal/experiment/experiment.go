@@ -12,7 +12,9 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
+	"see/internal/chaos"
 	"see/internal/engines"
 	"see/internal/metrics"
 	"see/internal/sched"
@@ -64,6 +66,16 @@ type Params struct {
 	// safe for concurrent use (sched.CountingTracer is). nil disables
 	// instrumentation.
 	Tracer sched.Tracer
+	// Faults is a deterministic fault schedule applied to every trial.
+	// Each engine gets its own injector built from this plan (injectors
+	// hold per-slot state and are not safe to share), so trials stay
+	// independently seeded and byte-identical across worker counts. nil
+	// disables fault injection.
+	Faults *chaos.FaultPlan
+	// SlotBudget bounds each engine's LP solve; on timeout or failure the
+	// slot degrades to the greedy fallback (see engines.NewResilient).
+	// Zero means no budget.
+	SlotBudget time.Duration
 }
 
 // DefaultParams returns the paper's default setting.
@@ -187,6 +199,15 @@ func RunPoint(p Params) (map[Algorithm]PointResult, error) {
 	return out, nil
 }
 
+// buildEngine constructs one scheme's engine, wrapping it in the
+// degradation ladder when a slot budget is set.
+func buildEngine(alg Algorithm, net *topo.Network, pairs []topo.SDPair, cfg engines.Config, budget time.Duration) (sched.Engine, error) {
+	if budget > 0 {
+		return engines.NewResilient(alg, net, pairs, cfg, budget)
+	}
+	return engines.New(alg, net, pairs, cfg)
+}
+
 // runTrial draws one instance and runs every algorithm's slot on it.
 func (p Params) runTrial(trial int) trialOutcome {
 	oc := trialOutcome{
@@ -202,10 +223,21 @@ func (p Params) runTrial(trial int) trialOutcome {
 		return oc
 	}
 	pairs := topo.ChooseSDPairs(net, p.SDPairs, pairRng)
-	cfg := p.engineConfig()
 	for _, alg := range Algorithms {
 		slotRng := xrand.Split(rng)
-		eng, err := engines.New(alg, net, pairs, cfg)
+		// Each engine needs its own injector: injectors track per-slot
+		// state, so sharing one across engines (or trials) would couple
+		// their fault streams.
+		cfg := p.engineConfig()
+		if p.Faults != nil {
+			inj, err := chaos.NewInjector(p.Faults, net)
+			if err != nil {
+				oc.err = fmt.Errorf("%v: %w", alg, err)
+				return oc
+			}
+			cfg.Chaos = inj
+		}
+		eng, err := buildEngine(alg, net, pairs, cfg, p.SlotBudget)
 		if err != nil {
 			oc.err = fmt.Errorf("%v: %w", alg, err)
 			return oc

@@ -30,6 +30,7 @@
 package flow
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -221,6 +222,17 @@ func (s *colKeySet) add(k []int32) bool {
 
 // Solve runs column generation to LP optimality (or MaxRounds).
 func Solve(set *segment.Set, opts Options) (*Solution, error) {
+	return SolveCtx(nil, set, opts)
+}
+
+// SolveCtx is Solve bounded by a context (nil = never cancelled). The
+// deadline is honored at every stage of the column-generation loop — master
+// pivots (lp.SolveCtx), realization pricing and path pricing (par.*Ctx) —
+// so an expired slot budget aborts the solve promptly with ctx.Err()
+// instead of finishing the round. A cancelled solve returns no Solution;
+// the degradation ladder in internal/engines falls back to the greedy
+// engine when that happens.
+func SolveCtx(ctx context.Context, set *segment.Set, opts Options) (*Solution, error) {
 	if set == nil {
 		return nil, errors.New("flow: nil segment set")
 	}
@@ -242,15 +254,19 @@ func Solve(set *segment.Set, opts Options) (*Solution, error) {
 
 	// Seed with resource-greedy columns: price under uniform unit duals so
 	// initial paths already prefer cheap, reliable segments.
-	m.priceRealizations(unitDuals(m.numRows))
-	m.priceColumns(nil, opts.Epsilon, priced)
+	if err := m.priceRealizations(ctx, unitDuals(m.numRows)); err != nil {
+		return nil, fmt.Errorf("flow: seed pricing: %w", err)
+	}
+	if err := m.priceColumns(ctx, nil, opts.Epsilon, priced); err != nil {
+		return nil, fmt.Errorf("flow: seed pricing: %w", err)
+	}
 	for i := range set.Pairs {
 		m.insertColumn(i, &priced[i])
 	}
 
 	rounds := 0
 	for ; rounds < opts.MaxRounds; rounds++ {
-		status, err := m.solver.Solve()
+		status, err := m.solver.SolveCtx(ctx)
 		if err != nil {
 			return nil, fmt.Errorf("flow: master solve: %w", err)
 		}
@@ -258,8 +274,12 @@ func Solve(set *segment.Set, opts Options) (*Solution, error) {
 			return m.extract(status, rounds), nil
 		}
 		duals := m.solver.Duals()
-		m.priceRealizations(duals)
-		m.priceColumns(duals, opts.Epsilon, priced)
+		if err := m.priceRealizations(ctx, duals); err != nil {
+			return nil, fmt.Errorf("flow: pricing round %d: %w", rounds, err)
+		}
+		if err := m.priceColumns(ctx, duals, opts.Epsilon, priced); err != nil {
+			return nil, fmt.Errorf("flow: pricing round %d: %w", rounds, err)
+		}
 		added := 0
 		for i := range set.Pairs {
 			// Add the path iff its reduced cost w_P − dual_i − cost > ε.
@@ -384,9 +404,11 @@ func attemptFactor(set *segment.Set, c *segment.Candidate) float64 {
 // priceRealizations computes, per segment edge, the cheapest realization
 // cost under the duals: factor · (Σ link duals + endpoint memory duals).
 // Edges are priced in parallel; each index writes only its own slots, so
-// the result is independent of the worker count.
-func (m *model) priceRealizations(duals []float64) {
-	par.For(m.opts.Workers, len(m.set.EdgePairs), func(id int) {
+// the result is independent of the worker count. A cancelled ctx aborts
+// the scan and returns ctx.Err(); the partially written slots are
+// discarded by the caller.
+func (m *model) priceRealizations(ctx context.Context, duals []float64) error {
+	return par.ForCtx(ctx, m.opts.Workers, len(m.set.EdgePairs), func(id int) {
 		best := math.Inf(1)
 		bestK := -1
 		mr := m.pairMemRows[id]
@@ -425,12 +447,13 @@ func (m *model) priceRealizations(duals []float64) {
 // the per-commodity slots of out. duals == nil is the seeding round (every
 // finite path qualifies). Commodities are priced in parallel; each worker
 // uses its own layered-DP scratch and writes only its commodity's slot.
-func (m *model) priceColumns(duals []float64, eps float64, out []pricedPath) {
+// A cancelled ctx aborts the pricing and returns ctx.Err().
+func (m *model) priceColumns(ctx context.Context, duals []float64, eps float64, out []pricedPath) error {
 	n := len(m.set.Pairs)
 	if m.price == nil {
 		m.price = make([]*priceScratch, par.Resolve(m.opts.Workers, n))
 	}
-	par.ForWorker(m.opts.Workers, n, func(w, i int) {
+	return par.ForWorkerCtx(ctx, m.opts.Workers, n, func(w, i int) {
 		dualI := math.Inf(-1)
 		if duals != nil {
 			dualI = duals[i]

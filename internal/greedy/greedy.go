@@ -1,0 +1,402 @@
+// Package greedy implements a non-LP baseline scheduler in the spirit of
+// greedy entanglement-routing heuristics (cf. the NIST swapping-order
+// greedy): paths are chosen by repeated shortest-path on the segment graph
+// under an expected-attempt-cost metric, and channels/memory are reserved
+// first-come-first-served until the network is saturated. No linear program
+// is solved anywhere, so construction is fast and deadline-proof — which is
+// why internal/engines uses this engine as the degradation target when an
+// LP-based engine blows its slot budget (ISSUE: graceful LP degradation).
+//
+// Like the LP engines, planning depends only on the static topology and
+// happens once at construction, with no randomness: RunSlot consumes the
+// rng only for the physical phase and the swaps, so a fixed rng state
+// reproduces the slot exactly.
+package greedy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"see/internal/chaos"
+	"see/internal/graph"
+	"see/internal/qnet"
+	"see/internal/sched"
+	"see/internal/segment"
+	"see/internal/topo"
+)
+
+// Pricing constants for the planning shortest path: infeasible edges get a
+// prohibitive weight, and any path that crosses one is rejected (same
+// pattern as ECE's auxiliary-graph weights).
+const (
+	infeasibleWeight = 1e12
+	rejectThreshold  = 1e11
+)
+
+// Options tunes the greedy engine.
+type Options struct {
+	// Segment tunes candidate enumeration; the zero value uses the SEE
+	// defaults (hop cap 10) so the greedy plans over the same segment
+	// catalogue as the engine it substitutes for.
+	Segment segment.Options
+	// Algorithm is the scheme label reported through Engine.Algorithm and
+	// the Tracer; the zero value is sched.Greedy.
+	Algorithm sched.Algorithm
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
+	// Chaos injects deterministic faults into the physical phase; see the
+	// matching field in core.Options.
+	Chaos *chaos.Injector
+}
+
+// DefaultOptions returns the greedy defaults.
+func DefaultOptions() Options {
+	seg := segment.DefaultOptions()
+	seg.MaxSegmentHops = 10
+	return Options{Segment: seg, Algorithm: sched.Greedy}
+}
+
+// hop is one planned segment: the endpoint pair, the physical realization
+// reserved for it and the number of creation attempts.
+type hop struct {
+	pair     segment.PairKey
+	cand     *segment.Candidate
+	attempts int
+}
+
+// plannedPath is one greedy-selected entanglement path.
+type plannedPath struct {
+	commodity int
+	nodes     graph.Path
+	hops      []hop
+}
+
+// Engine runs greedy time slots over a fixed network and workload.
+type Engine struct {
+	Net   *topo.Network
+	Pairs []topo.SDPair
+	Set   *segment.Set
+	// ConnCap is the per-pair connection cap.
+	ConnCap []int
+
+	paths    []plannedPath
+	plan     qnet.AttemptPlan
+	expected float64
+
+	opts   Options
+	tracer sched.Tracer
+}
+
+var _ sched.Engine = (*Engine)(nil)
+
+// NewEngine enumerates candidates and fixes the greedy plan. It never
+// solves an LP, so unlike the other engines it needs no context/budget
+// variant: construction cost is one Yen enumeration plus a handful of
+// Dijkstra runs.
+func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	if net == nil {
+		return nil, errors.New("greedy: nil network")
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("greedy: no SD pairs")
+	}
+	if opts.Segment.KPaths == 0 && opts.Segment.MaxSegmentHops == 0 {
+		d := DefaultOptions()
+		opts.Segment = d.Segment
+	}
+	if opts.Algorithm == 0 {
+		opts.Algorithm = sched.Greedy
+	}
+	set, err := segment.Build(net, pairs, opts.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("greedy: building candidates: %w", err)
+	}
+	connCap := make([]int, len(pairs))
+	for i, sd := range pairs {
+		connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
+	}
+	e := &Engine{
+		Net:     net,
+		Pairs:   pairs,
+		Set:     set,
+		ConnCap: connCap,
+		opts:    opts,
+		tracer:  sched.OrNop(opts.Tracer),
+	}
+	e.buildPlan()
+	return e, nil
+}
+
+// buildPlan selects paths round-robin over SD pairs and reserves resources
+// first-come-first-served. Each round routes every unsaturated pair on the
+// segment graph, pricing each segment edge at the expected-attempt cost
+// 1/(p·√(q_u·q_v)) of its cheapest still-feasible realization, with node
+// weight −ln q (junctions must survive their swap). A selected path
+// reserves up to ⌈1/p⌉ attempts per hop — enough for one expected created
+// segment — bounded by the residual channels and memory. Rounds repeat
+// until no pair can be routed.
+func (e *Engine) buildPlan() {
+	channels := append([]int(nil), e.Net.Channels...)
+	memory := append([]int(nil), e.Net.Memory...)
+	e.plan = make(qnet.AttemptPlan)
+
+	// cheapestFeasible returns the lowest-cost realization of the edge's
+	// pair that fits at least one attempt in the residual resources.
+	cheapestFeasible := func(pk segment.PairKey) (*segment.Candidate, float64) {
+		var best *segment.Candidate
+		bestCost := math.Inf(1)
+		for _, c := range e.Set.ByPair[pk] {
+			fits := memory[pk.U] >= 1 && memory[pk.V] >= 1
+			for _, id := range c.EdgeIDs {
+				if channels[id] < 1 {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				continue
+			}
+			cost := attemptCost(e.Net, c)
+			if cost < bestCost {
+				best, bestCost = c, cost
+			}
+		}
+		return best, bestCost
+	}
+
+	nodeWeight := func(u int) float64 {
+		q := e.Net.SwapProb[u]
+		if q <= 0 {
+			return infeasibleWeight
+		}
+		return -math.Log(q)
+	}
+	edgeWeight := func(id int, _ float64) float64 {
+		if _, cost := cheapestFeasible(e.Set.EdgePairs[id]); !math.IsInf(cost, 1) {
+			return cost
+		}
+		return infeasibleWeight
+	}
+
+	planned := make([]int, len(e.Pairs))
+	for {
+		progress := false
+		for i, sd := range e.Pairs {
+			if planned[i] >= e.ConnCap[i] {
+				continue
+			}
+			path, dist := graph.ShortestPath(e.Set.SegGraph, sd.S, sd.D, graph.DijkstraOptions{
+				NodeWeight: nodeWeight,
+				EdgeWeight: edgeWeight,
+			})
+			if path == nil || dist >= rejectThreshold {
+				continue
+			}
+			pp := plannedPath{commodity: i, nodes: path}
+			ok := true
+			for h := 0; h+1 < len(path); h++ {
+				pk := segment.MakePairKey(path[h], path[h+1])
+				cand, cost := cheapestFeasible(pk)
+				if cand == nil || math.IsInf(cost, 1) {
+					ok = false
+					break
+				}
+				// One expected created segment per hop: n ≈ 1/p attempts,
+				// bounded by what the residual resources actually fit.
+				n := int(math.Ceil(1 / cand.Prob))
+				if n < 1 {
+					n = 1
+				}
+				for _, id := range cand.EdgeIDs {
+					if channels[id] < n {
+						n = channels[id]
+					}
+				}
+				if memory[pk.U] < n {
+					n = memory[pk.U]
+				}
+				if memory[pk.V] < n {
+					n = memory[pk.V]
+				}
+				if n < 1 {
+					ok = false
+					break
+				}
+				for _, id := range cand.EdgeIDs {
+					channels[id] -= n
+				}
+				memory[pk.U] -= n
+				memory[pk.V] -= n
+				pp.hops = append(pp.hops, hop{pair: pk, cand: cand, attempts: n})
+			}
+			if !ok {
+				// Roll back this path's partial reservations.
+				for _, h := range pp.hops {
+					for _, id := range h.cand.EdgeIDs {
+						channels[id] += h.attempts
+					}
+					memory[h.pair.U] += h.attempts
+					memory[h.pair.V] += h.attempts
+				}
+				continue
+			}
+			for _, h := range pp.hops {
+				e.plan[h.cand] += h.attempts
+			}
+			e.paths = append(e.paths, pp)
+			planned[i]++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	e.expected = e.expectedEstablished()
+}
+
+// attemptCost is the expected number of attempts a unit of flow costs on
+// the candidate: 1/(p·√(q_u·q_v)), the same metric the LP prices columns
+// with (+Inf when the realization cannot support flow).
+func attemptCost(net *topo.Network, c *segment.Candidate) float64 {
+	qu := net.SwapProb[c.Path[0]]
+	qv := net.SwapProb[c.Path[len(c.Path)-1]]
+	den := c.Prob * math.Sqrt(qu*qv)
+	if den <= 1e-12 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// expectedEstablished is the heuristic value of the plan: per path, the
+// probability every hop realizes at least one segment times the junction
+// swap survival.
+func (e *Engine) expectedEstablished() float64 {
+	var total float64
+	for _, pp := range e.paths {
+		p := 1.0
+		for _, h := range pp.hops {
+			p *= 1 - math.Pow(1-h.cand.Prob, float64(h.attempts))
+		}
+		for j := 1; j+1 < len(pp.nodes); j++ {
+			p *= e.Net.SwapProb[pp.nodes[j]]
+		}
+		total += p
+	}
+	return total
+}
+
+// RunSlot simulates one time slot: attempt the fixed plan, then assemble
+// the planned paths from realized segments (repeating while redundant
+// segments allow retries, like ECE's provisioned pass).
+func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
+	tr := e.tracer
+	traced := !sched.IsNop(tr)
+	tr.SlotStart(e.opts.Algorithm)
+	res := &sched.SlotResult{
+		LPObjective:      e.expected,
+		PlannedPaths:     len(e.paths),
+		ProvisionedPaths: len(e.paths),
+		Attempts:         e.plan.TotalAttempts(),
+		PerPair:          make([]int, len(e.Pairs)),
+	}
+
+	var fm qnet.FaultModel
+	faultsBefore := 0
+	if e.opts.Chaos.Active() {
+		e.opts.Chaos.BeginSlot()
+		faultsBefore = e.opts.Chaos.Counts().Total()
+		fm = e.opts.Chaos
+	}
+
+	t0 := time.Now()
+	if traced {
+		for _, pp := range e.paths {
+			tr.PathPlanned(pp.commodity, len(pp.hops))
+		}
+	}
+	tr.PhaseDone(sched.PhasePlan, time.Since(t0))
+
+	t0 = time.Now()
+	if traced {
+		for _, pp := range e.paths {
+			tr.PathProvisioned(pp.commodity)
+		}
+		for _, c := range e.plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), e.plan[c])
+		}
+	}
+	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
+
+	t0 = time.Now()
+	var attemptObs qnet.AttemptObserver
+	if traced {
+		attemptObs = func(c *segment.Candidate, ok bool) {
+			tr.AttemptResolved(c.U(), c.V(), ok)
+		}
+	}
+	created := qnet.AttemptAllFaulty(e.plan, rng, fm, attemptObs)
+	res.SegmentsCreated = len(created)
+	created, _ = qnet.ApplyDecoherence(created, fm)
+	if fm != nil {
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+			tr.Incident(sched.IncidentFault, d)
+		}
+	}
+	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
+
+	t0 = time.Now()
+	pool := qnet.NewPool(created)
+	swapObs := qnet.SwapObserver(tr.SwapResolved)
+	perPair := make([]int, len(e.Pairs))
+	for {
+		progress := false
+		for _, pp := range e.paths {
+			if perPair[pp.commodity] >= e.ConnCap[pp.commodity] {
+				continue
+			}
+			ok := true
+			for _, h := range pp.hops {
+				if pool.Available(h.pair) < 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			conn := &qnet.Connection{Pair: pp.commodity, Nodes: pp.nodes}
+			for _, h := range pp.hops {
+				conn.Segments = append(conn.Segments, pool.Take(h.pair))
+			}
+			res.Assembled++
+			progress = true
+			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			tr.ConnectionAssembled(pp.commodity, ok)
+			if ok {
+				if err := conn.Validate(); err != nil {
+					return nil, fmt.Errorf("greedy: invalid connection: %w", err)
+				}
+				res.Established++
+				res.PerPair[pp.commodity]++
+				res.Connections = append(res.Connections, conn)
+				perPair[pp.commodity]++
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
+	tr.SlotEnd(res)
+	return res, nil
+}
+
+// Algorithm identifies the scheme.
+func (e *Engine) Algorithm() sched.Algorithm { return e.opts.Algorithm }
+
+// UpperBound returns the heuristic expected established count of the fixed
+// plan (not an LP bound — the greedy solves none).
+func (e *Engine) UpperBound() float64 { return e.expected }

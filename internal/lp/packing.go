@@ -1,11 +1,17 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 )
+
+// ctxCheckStride is how many simplex pivots run between context polls in
+// SolveCtx. Small enough that a slot budget cuts a runaway solve promptly,
+// large enough that the poll never shows up in profiles.
+const ctxCheckStride = 64
 
 // PackingSolver is a revised primal simplex specialized to packing LPs:
 //
@@ -240,6 +246,19 @@ func (s *PackingSolver) columnInto(basisID int, out []float64) {
 // form cannot be infeasible, and with finite b it cannot be unbounded unless
 // a column has no positive entries and positive objective.
 func (s *PackingSolver) Solve() (Status, error) {
+	return s.SolveCtx(nil)
+}
+
+// SolveCtx is Solve bounded by a context (nil = never cancelled). The
+// deadline is polled every ctxCheckStride pivots — cheap relative to the
+// O(m) pricing pass — and a cancelled solve returns ctx.Err() with the
+// basis left in the valid (suboptimal) state of the last completed pivot,
+// so a later Solve can resume from it.
+func (s *PackingSolver) SolveCtx(ctx context.Context) (Status, error) {
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
 	maxIter := s.MaxIter
 	if maxIter <= 0 {
 		maxIter = 500*(s.m+1) + 50*len(s.col)
@@ -250,6 +269,13 @@ func (s *PackingSolver) Solve() (Status, error) {
 	dir := make([]float64, s.m)
 	stall := 0
 	for iter := 0; iter < maxIter; iter++ {
+		if done != nil && iter%ctxCheckStride == 0 {
+			select {
+			case <-done:
+				return 0, ctx.Err()
+			default:
+			}
+		}
 		// s.y holds the duals of the current basis, maintained across
 		// pivots in O(m); pricing reads it directly.
 		y := s.y

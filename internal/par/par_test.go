@@ -1,7 +1,10 @@
 package par
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -109,5 +112,102 @@ func TestForWorkerBlocksAreContiguous(t *testing.T) {
 				t.Fatalf("worker %d's range [%d,%d] contains index %d owned by %d", w, lo[w], hi[w], i, seen[i])
 			}
 		}
+	}
+}
+
+func TestWorkerPanicReRaised(t *testing.T) {
+	defer func() {
+		v := recover()
+		if v == nil {
+			t.Fatal("panic not re-raised")
+		}
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", v)
+		}
+		if wp.Index != 13 {
+			t.Errorf("Index = %d, want 13", wp.Index)
+		}
+		if wp.Value != "boom" {
+			t.Errorf("Value = %v, want boom", wp.Value)
+		}
+		if len(wp.Stack) == 0 || !strings.Contains(string(wp.Stack), "par_test") {
+			t.Errorf("stack missing worker frames:\n%s", wp.Stack)
+		}
+		if !strings.Contains(wp.Error(), "index 13") {
+			t.Errorf("Error() = %q", wp.Error())
+		}
+	}()
+	For(4, 64, func(i int) {
+		if i == 13 {
+			panic("boom")
+		}
+	})
+}
+
+func TestWorkerPanicUnwrapsError(t *testing.T) {
+	sentinel := errors.New("sentinel")
+	defer func() {
+		v := recover()
+		wp, ok := v.(*WorkerPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *WorkerPanic", v)
+		}
+		if !errors.Is(wp, sentinel) {
+			t.Error("errors.Is does not see the wrapped error")
+		}
+	}()
+	For(2, 8, func(i int) {
+		if i == 5 {
+			panic(sentinel)
+		}
+	})
+}
+
+func TestSerialPanicHasCallerStack(t *testing.T) {
+	// workers=1 runs on the calling goroutine; the panic must arrive as the
+	// original value, not wrapped.
+	defer func() {
+		if v := recover(); v != "serial" {
+			t.Fatalf("recovered %v, want raw value", v)
+		}
+	}()
+	For(1, 3, func(i int) {
+		if i == 1 {
+			panic("serial")
+		}
+	})
+}
+
+func TestForCtxCancelled(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := ForCtx(ctx, workers, 1000, func(i int) {
+			if ran.Add(1) == 10 {
+				cancel()
+			}
+		})
+		cancel()
+		if err != context.Canceled {
+			t.Errorf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+		if n := ran.Load(); n >= 1000 {
+			t.Errorf("workers=%d: cancellation did not cut the loop (%d ran)", workers, n)
+		}
+	}
+}
+
+func TestForCtxNilAndComplete(t *testing.T) {
+	var ran atomic.Int64
+	if err := ForCtx(nil, 3, 100, func(i int) { ran.Add(1) }); err != nil {
+		t.Fatalf("nil ctx: %v", err)
+	}
+	if ran.Load() != 100 {
+		t.Fatalf("ran %d, want 100", ran.Load())
+	}
+	ctx := context.Background()
+	if err := ForWorkerCtx(ctx, 3, 50, func(w, i int) {}); err != nil {
+		t.Fatalf("uncancelled ctx: %v", err)
 	}
 }

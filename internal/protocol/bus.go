@@ -11,25 +11,54 @@ type Envelope struct {
 	Msg      Message
 }
 
+// queued is an envelope in flight: its bus-wide sequence number (assigned
+// at Send, the identity the fault hook keys on), how many delivery
+// attempts have been made, and the earliest drain round it may be
+// delivered in (the backoff clock).
+type queued struct {
+	env       Envelope
+	seq       int
+	attempts  int
+	notBefore int
+}
+
 // Bus is a deterministic in-memory message fabric: messages are queued per
 // destination and delivered in FIFO order, destinations drained in
 // ascending ID order. Handlers may send further messages while handling.
+//
+// The Faults hook models a lossy control plane: when it reports a delivery
+// dropped, the bus retries with exponential backoff (the message becomes
+// deliverable again 2^(attempt−1) drain rounds later) up to MaxAttempts
+// attempts, after which the message is lost for good. The hook is keyed on
+// the message's send sequence number, so a deterministic implementation
+// (chaos.Injector.DropDelivery) makes the whole lossy run reproducible.
 type Bus struct {
-	queues  map[NodeID][]Envelope
+	queues  map[NodeID][]queued
 	handler map[NodeID]func(Envelope)
 	// Trace, when non-nil, receives every delivered envelope (examples and
 	// tests use it to show the protocol).
 	Trace func(Envelope)
+	// Faults, when non-nil, decides whether delivery attempt `attempt`
+	// (1-based) of message `seq` is dropped. nil means lossless.
+	Faults func(seq, attempt int) bool
+	// MaxAttempts bounds delivery attempts per message; 0 means 4.
+	MaxAttempts int
 	// delivered counts total deliveries (loop guard).
 	delivered int
 	// MaxDeliveries guards against protocol loops; 0 means 1e6.
 	MaxDeliveries int
+
+	seq     int
+	round   int
+	dropped int
+	retried int
+	lost    int
 }
 
 // NewBus returns an empty bus.
 func NewBus() *Bus {
 	return &Bus{
-		queues:  make(map[NodeID][]Envelope),
+		queues:  make(map[NodeID][]queued),
 		handler: make(map[NodeID]func(Envelope)),
 	}
 }
@@ -42,16 +71,24 @@ func (b *Bus) Register(id NodeID, h func(Envelope)) {
 
 // Send enqueues a message.
 func (b *Bus) Send(from, to NodeID, msg Message) {
-	b.queues[to] = append(b.queues[to], Envelope{From: from, To: to, Msg: msg})
+	b.seq++
+	b.queues[to] = append(b.queues[to], queued{
+		env: Envelope{From: from, To: to, Msg: msg},
+		seq: b.seq,
+	})
 }
 
-// Drain delivers messages until every queue is empty. It returns an error
-// if a message targets an unregistered destination or the delivery guard
-// trips.
+// Drain delivers messages until every queue is empty (messages waiting out
+// a retry backoff are waited for). It returns an error if a message
+// targets an unregistered destination or the delivery guard trips.
 func (b *Bus) Drain() error {
 	limit := b.MaxDeliveries
 	if limit <= 0 {
 		limit = 1_000_000
+	}
+	maxAttempts := b.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4
 	}
 	for {
 		ids := make([]NodeID, 0, len(b.queues))
@@ -64,26 +101,59 @@ func (b *Bus) Drain() error {
 			return nil
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		b.round++
 		for _, id := range ids {
 			q := b.queues[id]
 			b.queues[id] = nil
 			h, ok := b.handler[id]
 			if !ok {
-				return fmt.Errorf("protocol: message for unregistered node %d: %v", id, q[0].Msg)
+				return fmt.Errorf("protocol: message for unregistered node %d: %v", id, q[0].env.Msg)
 			}
-			for _, env := range q {
+			var deferred []queued
+			for _, qm := range q {
+				if qm.notBefore > b.round {
+					// Still backing off; carry into a later round.
+					deferred = append(deferred, qm)
+					continue
+				}
+				qm.attempts++
+				if b.Faults != nil && b.Faults(qm.seq, qm.attempts) {
+					b.dropped++
+					if qm.attempts >= maxAttempts {
+						b.lost++
+						continue
+					}
+					b.retried++
+					qm.notBefore = b.round + 1<<(qm.attempts-1)
+					deferred = append(deferred, qm)
+					continue
+				}
 				b.delivered++
 				if b.delivered > limit {
 					return fmt.Errorf("protocol: delivery guard tripped after %d messages", b.delivered)
 				}
 				if b.Trace != nil {
-					b.Trace(env)
+					b.Trace(qm.env)
 				}
-				h(env)
+				h(qm.env)
 			}
+			// Handlers may have sent new messages to id while handling;
+			// deferred retries go ahead of them (they are older sends, so
+			// this keeps per-destination delivery closest to FIFO once
+			// their backoff expires).
+			b.queues[id] = append(deferred, b.queues[id]...)
 		}
 	}
 }
 
 // Delivered returns the number of messages delivered so far.
 func (b *Bus) Delivered() int { return b.delivered }
+
+// Dropped returns the number of delivery attempts the fault hook dropped.
+func (b *Bus) Dropped() int { return b.dropped }
+
+// Retried returns the number of redeliveries scheduled after drops.
+func (b *Bus) Retried() int { return b.retried }
+
+// Lost returns the number of messages abandoned after MaxAttempts drops.
+func (b *Bus) Lost() int { return b.lost }

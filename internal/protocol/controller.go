@@ -8,6 +8,7 @@ import (
 
 	"see/internal/core"
 	"see/internal/graph"
+	"see/internal/sched"
 	"see/internal/segment"
 	"see/internal/topo"
 	"see/internal/xrand"
@@ -20,6 +21,10 @@ type Controller struct {
 	engine *core.Engine
 	bus    *Bus
 	nodes  []*Node
+
+	// Tracer, when non-nil, receives control-plane incidents (message
+	// drops and retries on a lossy bus). Set it before the first slot.
+	Tracer sched.Tracer
 
 	// per-slot state
 	attempts   map[int]*segment.Candidate // attempt ID -> candidate
@@ -96,6 +101,7 @@ func (c *Controller) runSlot(rng *rand.Rand) (*SlotOutcome, error) {
 	c.swapState = make(map[int]*connState)
 	c.teleported = make(map[int]float64)
 	c.reports = 0
+	dropped0, retried0 := c.bus.Dropped(), c.bus.Retried()
 
 	plan, err := c.engine.PlanSlot(rng)
 	if err != nil {
@@ -174,7 +180,14 @@ func (c *Controller) runSlot(rng *rand.Rand) (*SlotOutcome, error) {
 					return nil, err
 				}
 				if _, acked := c.teleported[connID]; !acked {
-					return nil, fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+					// On a lossless bus a missing ack is a protocol bug; on
+					// a lossy one it means the ack (or an order upstream of
+					// it) was lost for good — the connection simply does
+					// not count as established.
+					if c.bus.Faults == nil {
+						return nil, fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+					}
+					continue
 				}
 				perPair[p.Commodity]++
 				out.Established++
@@ -195,6 +208,14 @@ func (c *Controller) runSlot(rng *rand.Rand) (*SlotOutcome, error) {
 
 	out.TeleportAcks = len(c.teleported)
 	out.Messages = c.bus.Delivered()
+	if c.Tracer != nil {
+		if d := c.bus.Dropped() - dropped0; d > 0 {
+			c.Tracer.Incident(sched.IncidentMessageDrop, d)
+		}
+		if r := c.bus.Retried() - retried0; r > 0 {
+			c.Tracer.Incident(sched.IncidentMessageRetry, r)
+		}
+	}
 
 	for _, n := range c.nodes {
 		if n.Err != nil {
@@ -287,7 +308,10 @@ func (c *Controller) phaseB(perPair []int, out *SlotOutcome) error {
 				return err
 			}
 			if _, acked := c.teleported[connID]; !acked {
-				return fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+				if c.bus.Faults == nil {
+					return fmt.Errorf("protocol: connection %d teleport not acknowledged", connID)
+				}
+				continue
 			}
 			perPair[i]++
 			out.Established++

@@ -3,8 +3,10 @@ package protocol
 import (
 	"testing"
 
+	"see/internal/chaos"
 	"see/internal/core"
 	"see/internal/qnet"
+	"see/internal/sched"
 	"see/internal/topo"
 	"see/internal/xrand"
 )
@@ -225,5 +227,108 @@ func TestSessionPhaseBUsesLeftovers(t *testing.T) {
 	}
 	if established == 0 {
 		t.Fatal("protocol slots established nothing across 20 seeds")
+	}
+}
+
+// TestBusRetryWithBackoff drops the first delivery attempt of one message
+// and checks the bus redelivers it on a later round instead of losing it.
+func TestBusRetryWithBackoff(t *testing.T) {
+	b := NewBus()
+	var got []int
+	b.Register(1, func(env Envelope) { got = append(got, env.Msg.(CreationReport).AttemptID) })
+	b.Faults = func(seq, attempt int) bool { return seq == 2 && attempt == 1 }
+	b.Send(0, 1, CreationReport{AttemptID: 10})
+	b.Send(0, 1, CreationReport{AttemptID: 20}) // seq 2: dropped once
+	b.Send(0, 1, CreationReport{AttemptID: 30})
+	if err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("delivered %v, want all three", got)
+	}
+	if b.Dropped() != 1 || b.Retried() != 1 || b.Lost() != 0 {
+		t.Fatalf("dropped=%d retried=%d lost=%d, want 1/1/0", b.Dropped(), b.Retried(), b.Lost())
+	}
+	if b.Delivered() != 3 {
+		t.Fatalf("Delivered = %d, want 3", b.Delivered())
+	}
+}
+
+// TestBusLostAfterMaxAttempts drops every attempt of one message: the bus
+// must abandon it after MaxAttempts and still drain cleanly.
+func TestBusLostAfterMaxAttempts(t *testing.T) {
+	b := NewBus()
+	b.MaxAttempts = 3
+	var got []int
+	b.Register(1, func(env Envelope) { got = append(got, env.Msg.(CreationReport).AttemptID) })
+	b.Faults = func(seq, attempt int) bool { return seq == 1 }
+	b.Send(0, 1, CreationReport{AttemptID: 10}) // always dropped
+	b.Send(0, 1, CreationReport{AttemptID: 20})
+	if err := b.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 20 {
+		t.Fatalf("delivered %v, want just 20", got)
+	}
+	if b.Lost() != 1 || b.Dropped() != 3 || b.Retried() != 2 {
+		t.Fatalf("lost=%d dropped=%d retried=%d, want 1/3/2", b.Lost(), b.Dropped(), b.Retried())
+	}
+}
+
+// TestSessionSingleDropDoesNotAbort is the robustness contract of the
+// control plane: one dropped controller message must be absorbed by the
+// retry machinery — the slot completes without error.
+func TestSessionSingleDropDoesNotAbort(t *testing.T) {
+	// Drop the first delivery attempt of every 7th message across many
+	// seeds; each individual message is still redelivered within
+	// MaxAttempts, so no slot may fail.
+	for seed := int64(0); seed < 20; seed++ {
+		s := newMotivationSession(t, seed)
+		s.Bus.Faults = func(seq, attempt int) bool { return seq%7 == 0 && attempt == 1 }
+		tr := sched.NewCountingTracer()
+		s.Controller.Tracer = tr
+		out, err := s.RunSlot(xrand.New(seed + 500))
+		if err != nil {
+			t.Fatalf("seed %d: slot aborted: %v", seed, err)
+		}
+		if s.Bus.Lost() != 0 {
+			t.Fatalf("seed %d: %d messages lost despite single drops", seed, s.Bus.Lost())
+		}
+		if s.Bus.Dropped() > 0 {
+			c := tr.Counts()
+			if c.IncidentCount(sched.IncidentMessageDrop) != s.Bus.Dropped() {
+				t.Fatalf("seed %d: tracer drops %d != bus drops %d",
+					seed, c.IncidentCount(sched.IncidentMessageDrop), s.Bus.Dropped())
+			}
+			if c.IncidentCount(sched.IncidentMessageRetry) != s.Bus.Retried() {
+				t.Fatalf("seed %d: tracer retries %d != bus retries %d",
+					seed, c.IncidentCount(sched.IncidentMessageRetry), s.Bus.Retried())
+			}
+		}
+		_ = out
+	}
+}
+
+// TestSessionLossyDeterministic runs the same lossy slot twice with the
+// chaos drop hook and expects identical outcomes.
+func TestSessionLossyDeterministic(t *testing.T) {
+	run := func() *SlotOutcome {
+		net, _ := topo.Motivation()
+		s := newMotivationSession(t, 11)
+		inj, err := chaos.NewInjector(&chaos.FaultPlan{Seed: 9, MsgLoss: 0.2}, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Bus.Faults = inj.DropDelivery
+		out, err := s.RunSlot(xrand.New(123))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a.Established != b.Established || a.SegmentsRealized != b.SegmentsRealized ||
+		a.AttemptsOrdered != b.AttemptsOrdered || a.Messages != b.Messages {
+		t.Fatalf("lossy runs diverged: %+v vs %+v", a, b)
 	}
 }

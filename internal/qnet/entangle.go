@@ -74,6 +74,18 @@ func (p AttemptPlan) SortedCandidates() []*segment.Candidate {
 // AttemptObserver is notified of each physical creation attempt's outcome.
 type AttemptObserver func(c *segment.Candidate, created bool)
 
+// FaultModel is the chaos hook the physical phase consults (implemented by
+// chaos.Injector). Implementations must be deterministic and must never
+// consume the engine's rng: CandidateBlocked decides whether an attempt's
+// physical route is down this slot (the attempt fails without an rng draw,
+// keeping faulty runs reproducible from the fault plan alone), and
+// SegmentDecohered decides, per realized segment in creation order, whether
+// quantum memory lost it before the stitch phase.
+type FaultModel interface {
+	CandidateBlocked(c *segment.Candidate) bool
+	SegmentDecohered() bool
+}
+
 // AttemptAll performs the physical phase: every reserved attempt succeeds
 // independently with its candidate's probability. The result is sorted
 // deterministically (by endpoint pair, then candidate path) so a fixed rng
@@ -86,8 +98,24 @@ func AttemptAll(plan AttemptPlan, rng *rand.Rand) []*Segment {
 // nil). The observer sees attempts in the same deterministic order and
 // does not affect the rng stream.
 func AttemptAllObserved(plan AttemptPlan, rng *rand.Rand, obs AttemptObserver) []*Segment {
+	return AttemptAllFaulty(plan, rng, nil, obs)
+}
+
+// AttemptAllFaulty is AttemptAllObserved under a fault model (may be nil):
+// attempts whose candidate is blocked fail deterministically, consuming no
+// randomness, so the rng stream of the surviving attempts — and with it the
+// whole slot — is a pure function of (engine seed, fault plan).
+func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs AttemptObserver) []*Segment {
 	var out []*Segment
 	for _, c := range plan.SortedCandidates() {
+		if fm != nil && fm.CandidateBlocked(c) {
+			if obs != nil {
+				for k := 0; k < plan[c]; k++ {
+					obs(c, false)
+				}
+			}
+			continue
+		}
 		for k := 0; k < plan[c]; k++ {
 			created := xrand.Bernoulli(rng, c.Prob)
 			if created {
@@ -99,6 +127,25 @@ func AttemptAllObserved(plan AttemptPlan, rng *rand.Rand, obs AttemptObserver) [
 		}
 	}
 	return out
+}
+
+// ApplyDecoherence filters realized segments through the fault model's
+// memory-decoherence stream (in creation order) and returns the survivors
+// plus the number lost. A nil model keeps everything.
+func ApplyDecoherence(segs []*Segment, fm FaultModel) ([]*Segment, int) {
+	if fm == nil {
+		return segs, 0
+	}
+	kept := segs[:0]
+	lost := 0
+	for _, s := range segs {
+		if fm.SegmentDecohered() {
+			lost++
+			continue
+		}
+		kept = append(kept, s)
+	}
+	return kept, lost
 }
 
 // Pool indexes realized segments by endpoint pair and hands them out to

@@ -13,6 +13,7 @@
 package reps
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,6 +21,7 @@ import (
 	"sort"
 	"time"
 
+	"see/internal/chaos"
 	"see/internal/flow"
 	"see/internal/graph"
 	"see/internal/qnet"
@@ -39,6 +41,10 @@ type Options struct {
 	Flow flow.Options
 	// Tracer observes the slot pipeline; nil means no instrumentation.
 	Tracer sched.Tracer
+	// Chaos injects deterministic faults into the physical phase; nil or a
+	// zero-plan injector leaves the engine byte-identical to a run without
+	// any chaos layer (see the matching field in core.Options).
+	Chaos *chaos.Injector
 }
 
 func (o Options) withDefaults() Options {
@@ -74,6 +80,12 @@ var _ sched.Engine = (*Engine)(nil)
 
 // NewEngine provisions entanglement links for the workload.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	return NewEngineCtx(nil, net, pairs, opts)
+}
+
+// NewEngineCtx is NewEngine with the provisioning LP solves bounded by a
+// context (nil = never cancelled); see core.NewEngineCtx.
+func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
 	if net == nil {
 		return nil, errors.New("reps: nil network")
 	}
@@ -97,14 +109,14 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 		}
 	}
 	e := &Engine{Net: net, Pairs: pairs, Set: set, ConnCap: connCap, opts: opts, tracer: sched.OrNop(opts.Tracer)}
-	if err := e.provision(); err != nil {
+	if err := e.provision(ctx); err != nil {
 		return nil, err
 	}
 	return e, nil
 }
 
 // provision runs the ELP + progressive rounding to fix the attempt plan.
-func (e *Engine) provision() error {
+func (e *Engine) provision(ctx context.Context) error {
 	plan := make(qnet.AttemptPlan)
 	channels := append([]int(nil), e.Net.Channels...)
 	memory := append([]int(nil), e.Net.Memory...)
@@ -144,7 +156,7 @@ func (e *Engine) provision() error {
 		fopts.ConnCap = e.ConnCap
 		fopts.Channels = channels
 		fopts.Memory = memory
-		sol, err := flow.Solve(e.Set, fopts)
+		sol, err := flow.SolveCtx(ctx, e.Set, fopts)
 		if err != nil {
 			return fmt.Errorf("reps: provisioning LP: %w", err)
 		}
@@ -262,6 +274,16 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		PerPair:     make([]int, len(e.Pairs)),
 	}
 
+	// Chaos slot clock; fm stays nil (and the slot byte-identical) without
+	// an active injector.
+	var fm qnet.FaultModel
+	faultsBefore := 0
+	if e.opts.Chaos.Active() {
+		e.opts.Chaos.BeginSlot()
+		faultsBefore = e.opts.Chaos.Counts().Total()
+		fm = e.opts.Chaos
+	}
+
 	// The reservation events (and the sort that orders them) exist only for
 	// the tracer; skip them on bare runs. The rng stream is unaffected.
 	traced := !sched.IsNop(tr)
@@ -280,8 +302,14 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllObserved(e.Plan, rng, attemptObs)
+	created := qnet.AttemptAllFaulty(e.Plan, rng, fm, attemptObs)
 	res.SegmentsCreated = len(created)
+	created, _ = qnet.ApplyDecoherence(created, fm)
+	if fm != nil {
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+			tr.Incident(sched.IncidentFault, d)
+		}
+	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 
 	t0 = time.Now()

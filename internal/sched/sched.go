@@ -38,9 +38,17 @@ const (
 	REPS
 	// E2E uses all-optical switching only: one segment per connection.
 	E2E
+	// Greedy is the non-LP baseline (NIST-style greedy provisioning): it
+	// plans paths by repeated shortest-path on the segment graph and
+	// reserves resources first-come-first-served, with no optimization.
+	// It doubles as the degradation target when an LP solve blows its
+	// slot budget (see internal/engines.NewResilient).
+	Greedy
 )
 
-// Algorithms lists all schemes in display order.
+// Algorithms lists the paper's schemes in display order. Greedy is a
+// repo-grown baseline, selectable by name but not part of the paper's
+// evaluation trio.
 var Algorithms = []Algorithm{SEE, REPS, E2E}
 
 // String implements fmt.Stringer.
@@ -52,13 +60,15 @@ func (a Algorithm) String() string {
 		return "REPS"
 	case E2E:
 		return "E2E"
+	case Greedy:
+		return "Greedy"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
 // ParseAlgorithm maps a case-insensitive scheme name ("see", "reps",
-// "e2e") to its Algorithm.
+// "e2e", "greedy") to its Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
 	case "see":
@@ -67,8 +77,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return REPS, nil
 	case "e2e":
 		return E2E, nil
+	case "greedy":
+		return Greedy, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps or e2e)", s)
+		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e or greedy)", s)
 	}
 }
 

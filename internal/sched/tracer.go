@@ -46,6 +46,51 @@ func (p Phase) String() string {
 	}
 }
 
+// Incident classifies an out-of-band robustness event observed by the
+// pipeline: injected faults, degradations and retries that are not part of
+// the paper's ideal slot model.
+type Incident int
+
+// The incident kinds reported through Tracer.Incident.
+const (
+	// IncidentFault counts injected chaos events that bit: attempts or
+	// routes blocked by node/link outages, segments lost to memory
+	// decoherence (see internal/chaos).
+	IncidentFault Incident = iota
+	// IncidentDegraded counts slots the scheduler served with the greedy
+	// fallback because the LP-based primary was unavailable (solve budget
+	// exceeded or numerical failure).
+	IncidentDegraded
+	// IncidentRetry counts retries of a previously failed LP construction.
+	IncidentRetry
+	// IncidentMessageDrop counts controller↔node messages dropped by the
+	// protocol bus.
+	IncidentMessageDrop
+	// IncidentMessageRetry counts bus redeliveries of dropped messages.
+	IncidentMessageRetry
+)
+
+// NumIncidents is the number of incident kinds.
+const NumIncidents = 5
+
+// String implements fmt.Stringer.
+func (i Incident) String() string {
+	switch i {
+	case IncidentFault:
+		return "fault"
+	case IncidentDegraded:
+		return "degraded"
+	case IncidentRetry:
+		return "retry"
+	case IncidentMessageDrop:
+		return "msg_drop"
+	case IncidentMessageRetry:
+		return "msg_retry"
+	default:
+		return fmt.Sprintf("Incident(%d)", int(i))
+	}
+}
+
 // Tracer observes the slot pipeline. Engines invoke the callbacks on hot
 // paths, so implementations must be cheap; implementations shared across
 // goroutines (e.g. by the parallel experiment harness) must be safe for
@@ -76,6 +121,10 @@ type Tracer interface {
 	// PhaseDone fires after each pipeline phase the engine ran this slot,
 	// with its wall-clock duration.
 	PhaseDone(ph Phase, d time.Duration)
+	// Incident reports n occurrences of a robustness event (injected
+	// fault, degraded slot, retry). With faults disabled and no slot
+	// budget it never fires.
+	Incident(kind Incident, n int)
 	// SlotEnd delivers the slot's final result.
 	SlotEnd(res *SlotResult)
 }
@@ -93,6 +142,7 @@ func (NopTracer) AttemptResolved(int, int, bool) {}
 func (NopTracer) SwapResolved(int, bool)         {}
 func (NopTracer) ConnectionAssembled(int, bool)  {}
 func (NopTracer) PhaseDone(Phase, time.Duration) {}
+func (NopTracer) Incident(Incident, int)         {}
 func (NopTracer) SlotEnd(*SlotResult)            {}
 
 // OrNop normalizes a possibly-nil tracer to a usable one.
@@ -138,6 +188,17 @@ type TracerCounts struct {
 	ConnectionsEstablished int
 	// Established accumulates SlotResult.Established over SlotEnd events.
 	Established int
+	// Incidents tallies robustness events by kind (indexed by Incident).
+	Incidents [NumIncidents]int
+}
+
+// Incidents returns the tally for one incident kind (0 for out-of-range
+// kinds).
+func (c TracerCounts) IncidentCount(kind Incident) int {
+	if kind < 0 || kind >= NumIncidents {
+		return 0
+	}
+	return c.Incidents[kind]
 }
 
 // CountingTracer tallies pipeline events and per-phase latencies. The zero
@@ -221,6 +282,16 @@ func (t *CountingTracer) PhaseDone(ph Phase, d time.Duration) {
 	t.mu.Unlock()
 }
 
+// Incident implements Tracer.
+func (t *CountingTracer) Incident(kind Incident, n int) {
+	if kind < 0 || kind >= NumIncidents {
+		return
+	}
+	t.mu.Lock()
+	t.counts.Incidents[kind] += n
+	t.mu.Unlock()
+}
+
 // SlotEnd implements Tracer.
 func (t *CountingTracer) SlotEnd(res *SlotResult) {
 	t.mu.Lock()
@@ -269,6 +340,11 @@ func (t *CountingTracer) String() string {
 	for ph := Phase(0); ph < NumPhases; ph++ {
 		if s := t.PhaseLatency(ph); s.N > 0 {
 			fmt.Fprintf(&b, " %s=%.3gms", ph, s.Mean*1e3)
+		}
+	}
+	for kind := Incident(0); kind < NumIncidents; kind++ {
+		if n := c.Incidents[kind]; n > 0 {
+			fmt.Fprintf(&b, " %s=%d", kind, n)
 		}
 	}
 	return b.String()

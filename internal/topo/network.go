@@ -114,6 +114,18 @@ func (n *Network) SegmentSuccessProb(p graph.Path) float64 {
 // SetProber replaces the probability model (used by fixtures and tests).
 func (n *Network) SetProber(p SegmentProber) { n.prober = p }
 
+// IncidentLinks returns the edge IDs of every link incident to node v
+// (parallel links included, each ID once). The fault injector uses it to
+// take a crashed node's links down with the node.
+func (n *Network) IncidentLinks(v int) []int {
+	edges := n.G.Neighbors(v)
+	ids := make([]int, 0, len(edges))
+	for _, e := range edges {
+		ids = append(ids, e.ID)
+	}
+	return ids
+}
+
 // Validate checks structural invariants: attribute table sizes, positive
 // lengths, non-negative resources, probabilities in [0, 1].
 func (n *Network) Validate() error {

@@ -11,14 +11,19 @@
 //
 // Three schedulers are available: SEE (the paper's contribution), REPS
 // (the INFOCOM'21 entanglement-link baseline) and E2E (all-optical
-// switching only). The experiment harness regenerating the paper's
-// figures is exposed via RunExperiment and the Fig* helpers.
+// switching only), plus the repo-grown Greedy non-LP baseline. The
+// experiment harness regenerating the paper's figures is exposed via
+// RunExperiment and the Fig* helpers. SchedulerOptions.Faults injects
+// deterministic faults (see ParseFaultSpec) and SchedulerOptions.SlotBudget
+// bounds the LP solve, degrading gracefully to Greedy when exceeded.
 package see
 
 import (
 	"errors"
 	"io"
+	"time"
 
+	"see/internal/chaos"
 	"see/internal/engines"
 	"see/internal/sched"
 	"see/internal/topo"
@@ -38,6 +43,10 @@ const (
 	REPS = sched.REPS
 	// E2E uses all-optical switching only: one segment per connection.
 	E2E = sched.E2E
+	// Greedy is the repo-grown non-LP baseline: round-robin shortest-path
+	// planning with first-come-first-served reservation. It doubles as the
+	// degradation target when an LP scheduler blows its SlotBudget.
+	Greedy = sched.Greedy
 )
 
 // NetworkConfig mirrors the evaluation parameters of §IV-A.
@@ -206,6 +215,17 @@ type SchedulerOptions struct {
 	// physical attempts, stitching); nil disables instrumentation. Attach
 	// a *CountingTracer to collect phase-event counts and latencies.
 	Tracer Tracer
+	// Faults injects deterministic faults (node crashes, link outages,
+	// control-message loss, memory decoherence) into the scheduler's slots;
+	// nil — or a zero plan — leaves the scheduler byte-identical to a run
+	// without the fault layer. Parse a compact spec with ParseFaultSpec.
+	Faults *FaultPlan
+	// SlotBudget bounds the scheduler's LP solve (which runs lazily inside
+	// the first slot). When the solve exceeds the budget or fails, the slot
+	// degrades to the Greedy fallback and the LP is retried on later slots
+	// a bounded number of times; every degradation and retry is reported
+	// through the Tracer as an Incident. Zero means no budget.
+	SlotBudget time.Duration
 }
 
 // SlotResult reports one simulated time slot. It is the canonical
@@ -243,8 +263,52 @@ type CountingTracer = sched.CountingTracer
 // NewCountingTracer returns an empty CountingTracer.
 func NewCountingTracer() *CountingTracer { return sched.NewCountingTracer() }
 
+// JSONLTracer streams every pipeline event as one JSON object per line —
+// a machine-readable slot log for offline analysis. Create one with
+// NewJSONLTracer and remember to Flush (or Close) before reading the
+// output.
+type JSONLTracer = sched.JSONLTracer
+
+// NewJSONLTracer returns a tracer streaming JSON lines to w.
+func NewJSONLTracer(w io.Writer) *JSONLTracer { return sched.NewJSONLTracer(w) }
+
+// MultiTracer fans events out to several tracers (e.g. a CountingTracer
+// plus a JSONLTracer); nil entries are dropped.
+func MultiTracer(ts ...Tracer) Tracer { return sched.Multi(ts...) }
+
+// Incident classifies the robustness events a Tracer observes: injected
+// faults, degraded slots, LP construction retries and control-plane
+// message drops/retries.
+type Incident = sched.Incident
+
+// The incident kinds reported through Tracer.Incident.
+const (
+	IncidentFault        = sched.IncidentFault
+	IncidentDegraded     = sched.IncidentDegraded
+	IncidentRetry        = sched.IncidentRetry
+	IncidentMessageDrop  = sched.IncidentMessageDrop
+	IncidentMessageRetry = sched.IncidentMessageRetry
+)
+
+// FaultPlan is a deterministic fault schedule for a scheduler: node crash
+// windows, link outage windows, control-message loss and memory
+// decoherence, all derived from the plan's seed. It is the canonical
+// chaos.FaultPlan; build one directly or via ParseFaultSpec.
+type FaultPlan = chaos.FaultPlan
+
+// ParseFaultSpec parses the compact fault-spec grammar shared with the
+// seesim -faults flag, e.g.
+//
+//	seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02
+//
+// Fields: node=<id>@<from>-<to> crashes a node for a slot window (open
+// ends allowed), link=<id>@... takes a link down, loss=<p> drops control
+// messages with probability p, decohere=<p> destroys created segments
+// with probability p. Windows are inclusive slot ranges.
+func ParseFaultSpec(s string) (*FaultPlan, error) { return chaos.ParseSpec(s) }
+
 // ParseAlgorithm parses a case-insensitive algorithm name ("see", "reps",
-// "e2e").
+// "e2e", "greedy").
 func ParseAlgorithm(s string) (Algorithm, error) { return sched.ParseAlgorithm(s) }
 
 // Algorithms lists all schemes in display order.
@@ -266,7 +330,7 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 	if opts != nil {
 		o = *opts
 	}
-	return engines.New(alg, net.inner, raw, engines.Config{
+	cfg := engines.Config{
 		KPaths:             o.KPaths,
 		MaxSegmentHops:     o.MaxSegmentHops,
 		MinSegmentProb:     o.MinSegmentProb,
@@ -274,7 +338,18 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		PlainObjective:     o.PlainObjective,
 		Workers:            o.Workers,
 		Tracer:             o.Tracer,
-	})
+	}
+	if o.Faults != nil {
+		inj, err := chaos.NewInjector(o.Faults, net.inner)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Chaos = inj
+	}
+	if o.SlotBudget > 0 {
+		return engines.NewResilient(alg, net.inner, raw, cfg, o.SlotBudget)
+	}
+	return engines.New(alg, net.inner, raw, cfg)
 }
 
 // LoadNetwork reads a topology from the edge-list text format of
