@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke chaos-smoke figures
+.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke docs-check figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -21,13 +21,21 @@ vet:
 race:
 	$(GO) test -race ./...
 
-# verify is the repo's full gate: vet, build, the test suite under the
-# race detector (the experiment harness runs trials concurrently), a
-# single-iteration pass over the substrate benchmarks so perf-path
-# regressions that only bench code exercises are caught early, and a
-# chaos smoke that drives fault injection and the degradation ladder
-# end-to-end through the CLI.
-verify: vet build race bench-smoke chaos-smoke
+# verify is the repo's full gate: vet, the docs gate, build, the test
+# suite under the race detector (the experiment harness runs trials
+# concurrently), a single-iteration pass over the substrate benchmarks so
+# perf-path regressions that only bench code exercises are caught early,
+# and a chaos smoke that drives fault injection and the degradation
+# ladder end-to-end through the CLI.
+verify: vet docs-check build race bench-smoke chaos-smoke
+
+# docs-check keeps the documentation honest: gofmt-clean tree, a package
+# comment on every internal/* package, and every seesim flag present in
+# README.md's flag table (cmd/docscheck).
+docs-check:
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	$(GO) run ./cmd/docscheck
 
 # chaos-smoke runs seesim with a canned fault spec plus an LP budget tight
 # enough to exercise the injector, the JSONL sink and the greedy fallback
@@ -51,6 +59,15 @@ bench:
 # compile-and-run check, not a measurement.
 bench-smoke:
 	$(GO) test -bench='ColumnGeneration|LPDenseSolve|YenKShortest' -benchtime=1x -run='^$$' .
+
+# bench-pr4 records the cross-slot carry-over workload benchmarks in
+# BENCH_PR4.json; the baseline is BenchmarkWorkloadMemoryless measured on
+# the same host, so the delivered/slot gain of the state bank is readable
+# from the file alone.
+bench-pr4:
+	$(GO) test -bench='WorkloadCarryOver|WorkloadMemoryless' -benchmem -benchtime=$(BENCHTIME) -count=3 -timeout 30m -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -out BENCH_PR4.json \
+		-note 'cross-slot entanglement carry-over PR; memoryless workload is the in-file baseline'
 
 figures:
 	$(GO) run ./cmd/seefig -fig 3

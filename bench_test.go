@@ -384,3 +384,47 @@ func BenchmarkSchedulerConstruction(b *testing.B) {
 		}
 	}
 }
+
+// benchCarryWorkload drives a 20-slot qubit workload through a fresh SEE
+// scheduler each iteration, with or without the cross-slot state bank
+// (DESIGN.md §6), and reports delivered qubits per slot.
+func benchCarryWorkload(b *testing.B, carry bool) {
+	b.Helper()
+	net, pairs, err := see.GenerateNetwork(see.NetworkConfig{Nodes: 50}, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const slots = 20
+	var delivered int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opts := &see.SchedulerOptions{}
+		if carry {
+			opts.CarryOver = true
+			opts.DecoherenceSlots = 2
+		}
+		sc, err := see.NewScheduler(see.SEE, net, pairs, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := see.RunWorkload(sc, len(pairs), see.WorkloadConfig{
+			Slots:           slots,
+			ArrivalsPerPair: 1,
+			QueueCap:        20,
+			Seed:            7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		delivered = res.Delivered
+	}
+	b.ReportMetric(float64(delivered)/slots, "delivered/slot")
+}
+
+// BenchmarkWorkloadCarryOver measures the carry-over path (segments banked
+// in node memories across slots).
+func BenchmarkWorkloadCarryOver(b *testing.B) { benchCarryWorkload(b, true) }
+
+// BenchmarkWorkloadMemoryless measures the paper's memoryless slot for
+// comparison against BenchmarkWorkloadCarryOver.
+func BenchmarkWorkloadMemoryless(b *testing.B) { benchCarryWorkload(b, false) }

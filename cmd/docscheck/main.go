@@ -1,0 +1,163 @@
+// Command docscheck is the documentation gate wired into `make verify`.
+// It enforces two repo conventions that plain `go vet` does not:
+//
+//  1. every package under internal/ (and the root package) carries a
+//     package comment, so `go doc ./internal/...` always explains the
+//     subsystem, and
+//  2. every flag registered by cmd/seesim appears in README.md's flag
+//     table, so the CLI surface and its documentation cannot drift apart.
+//
+// It exits non-zero with one line per violation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+
+	pkgDirs, err := packageDirs(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, dir := range pkgDirs {
+		ok, err := hasPackageComment(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: package has no package comment", dir))
+		}
+	}
+
+	flags, err := seesimFlags(filepath.Join(root, "cmd", "seesim", "main.go"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	readme, err := os.ReadFile(filepath.Join(root, "README.md"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "docscheck:", err)
+		os.Exit(1)
+	}
+	for _, name := range flags {
+		if !strings.Contains(string(readme), "`-"+name) {
+			problems = append(problems,
+				fmt.Sprintf("README.md: seesim flag -%s is not documented in the flag table", name))
+		}
+	}
+
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "docscheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("docscheck: %d packages documented, %d seesim flags covered by README.md\n",
+		len(pkgDirs), len(flags))
+}
+
+// packageDirs returns the root package directory plus every Go package
+// directory under internal/.
+func packageDirs(root string) ([]string, error) {
+	dirs := []string{root}
+	err := filepath.WalkDir(filepath.Join(root, "internal"), func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() && path != filepath.Join(root, "internal") {
+			if matches, _ := filepath.Glob(filepath.Join(path, "*.go")); len(matches) > 0 {
+				dirs = append(dirs, path)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasPackageComment reports whether any non-test file in dir carries a
+// package doc comment.
+func hasPackageComment(dir string) (bool, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false, err
+	}
+	fset := token.NewFileSet()
+	found := false
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.PackageClauseOnly)
+		if err != nil {
+			return false, err
+		}
+		if f.Doc != nil && strings.TrimSpace(f.Doc.Text()) != "" {
+			found = true
+		}
+	}
+	return found, nil
+}
+
+// seesimFlags extracts the flag names registered via the flag package in
+// the given file (flag.String("name", ...), flag.Int, flag.Bool, ...).
+func seesimFlags(path string) ([]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || pkg.Name != "flag" {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "String", "Bool", "Int", "Int64", "Uint", "Uint64", "Float64", "Duration":
+		default:
+			return true
+		}
+		lit, ok := call.Args[0].(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if name, err := strconv.Unquote(lit.Value); err == nil {
+			names = append(names, name)
+		}
+		return true
+	})
+	if len(names) == 0 {
+		return nil, fmt.Errorf("%s: no flag registrations found (parser out of date?)", path)
+	}
+	sort.Strings(names)
+	return names, nil
+}

@@ -38,6 +38,8 @@ func main() {
 		faults   = flag.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02\"")
 		budget   = flag.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
 		jsonl    = flag.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
+		carry    = flag.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
+		decohere = flag.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
 	)
 	flag.Parse()
 
@@ -70,9 +72,9 @@ func main() {
 			os.Exit(2)
 		}
 	}
-	// Fault injection and slot budgets report through the tracer, so either
-	// flag implies counters even without -trace.
-	countInjected := plan != nil || *budget > 0
+	// Fault injection, slot budgets and carry-over report through the
+	// tracer, so any of those flags implies counters even without -trace.
+	countInjected := plan != nil || *budget > 0 || *carry
 	var jsonlTracer *see.JSONLTracer
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
@@ -104,9 +106,11 @@ func main() {
 		}
 		for _, a := range algs {
 			opts := &see.SchedulerOptions{
-				Workers:    *workers,
-				Faults:     plan,
-				SlotBudget: *budget,
+				Workers:          *workers,
+				Faults:           plan,
+				SlotBudget:       *budget,
+				CarryOver:        *carry,
+				DecoherenceSlots: *decohere,
 			}
 			var ts []see.Tracer
 			if *trace || countInjected {
@@ -156,11 +160,20 @@ func main() {
 		}
 	}
 	if countInjected {
-		fmt.Printf("\n# incidents (faults=%q slot-budget=%v)\n", *faults, *budget)
+		// The bank incident kinds print only under -carry so fault-only
+		// runs keep their exact pre-carry output.
+		if *carry {
+			fmt.Printf("\n# incidents (faults=%q slot-budget=%v carry=%d-slot)\n", *faults, *budget, *decohere)
+		} else {
+			fmt.Printf("\n# incidents (faults=%q slot-budget=%v)\n", *faults, *budget)
+		}
 		for _, a := range algs {
 			c := tracers[a].Counts()
 			fmt.Printf("%-6v", a)
 			for k := see.Incident(0); k < see.Incident(len(c.Incidents)); k++ {
+				if !*carry && k >= see.IncidentBankWithdraw {
+					continue
+				}
 				fmt.Printf(" %s=%d", k, c.IncidentCount(k))
 			}
 			fmt.Println()

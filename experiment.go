@@ -33,6 +33,20 @@ type ExperimentParams struct {
 	// SlotBudget bounds each engine's LP solve; on timeout the slot
 	// degrades to the Greedy fallback. Zero means no budget.
 	SlotBudget time.Duration
+	// Slots runs each trial for this many consecutive time slots per
+	// algorithm (default 1, the paper's single-slot evaluation); reported
+	// throughput is always per slot.
+	Slots int
+	// CarryOver banks realized-but-unconsumed segments across the trial's
+	// slots (see SchedulerOptions.CarryOver). Only meaningful with
+	// Slots > 1.
+	CarryOver bool
+	// DecoherenceSlots is the carry-over age window (default 1); see
+	// SchedulerOptions.DecoherenceSlots.
+	DecoherenceSlots int
+	// Workers bounds the goroutines running trials concurrently (0 =
+	// GOMAXPROCS, 1 = serial). Results are identical at any value.
+	Workers int
 }
 
 // DefaultExperimentParams returns the paper's defaults with 100 trials.
@@ -77,6 +91,10 @@ func (p ExperimentParams) toInternal() experiment.Params {
 	in.Tracer = p.Tracer
 	in.Faults = p.Faults
 	in.SlotBudget = p.SlotBudget
+	in.Slots = p.Slots
+	in.CarryOver = p.CarryOver
+	in.DecoherenceSlots = p.DecoherenceSlots
+	in.Workers = p.Workers
 	return in
 }
 

@@ -382,7 +382,7 @@ func (in *Injector) SegmentDecohered() bool {
 	}
 	seq := in.decoSeq
 	in.decoSeq++
-	if hash01(in.plan.Seed, 0xdec0, in.slot, seq) < in.plan.Decoherence {
+	if Hash01(in.plan.Seed, 0xdec0, in.slot, seq) < in.plan.Decoherence {
 		in.counts.SegmentsDecohered++
 		return true
 	}
@@ -396,7 +396,7 @@ func (in *Injector) DropDelivery(seq, attempt int) bool {
 	if !in.Active() || in.plan.MsgLoss <= 0 {
 		return false
 	}
-	if hash01(in.plan.Seed, 0x10e5, in.slot, seq<<8|attempt&0xff) < in.plan.MsgLoss {
+	if Hash01(in.plan.Seed, 0x10e5, in.slot, seq<<8|attempt&0xff) < in.plan.MsgLoss {
 		in.counts.MessagesDropped++
 		return true
 	}
@@ -426,9 +426,14 @@ func (in *Injector) DownNodes() []int {
 	return out
 }
 
-// hash01 maps (seed, kind, slot, seq) to a uniform-ish value in [0, 1)
-// with a SplitMix64-style finalizer.
-func hash01(seed int64, kind, slot, seq int) float64 {
+// Hash01 maps (seed, kind, slot, seq) to a uniform-ish value in [0, 1)
+// with a SplitMix64-style finalizer. The kind argument namespaces
+// independent decision streams (the injector uses 0xdec0 for segment
+// decoherence and 0x10e5 for message loss); other deterministic subsystems
+// — e.g. the cross-slot state bank in internal/state — share the scheme
+// under their own kinds so every stochastic decision outside the engines'
+// rng streams is reproducible from (seed, kind, slot, seq) alone.
+func Hash01(seed int64, kind, slot, seq int) float64 {
 	z := uint64(seed) ^ uint64(kind)<<48 ^ uint64(uint32(slot))<<16 ^ uint64(uint32(seq))
 	z += 0x9e3779b97f4a7c15
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -37,7 +37,14 @@ const (
 // It returns the established connections and the number of assembly
 // attempts (established + swap-failed).
 func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet.Segment, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
-	pool := qnet.NewPool(created)
+	return e.establishFromPool(provisioned, qnet.NewPool(created), rng)
+}
+
+// establishFromPool is establishConnections over a caller-built pool. The
+// carry-over path uses it so the pool can mix withdrawn (carried) segments
+// with the slot's fresh ones and so the engine can deposit the pool's
+// unconsumed leftovers into the state bank afterwards.
+func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
 	perPair := make([]int, len(e.Pairs))
 	var out []*qnet.Connection
 	tr := e.tracer

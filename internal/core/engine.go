@@ -28,6 +28,7 @@ import (
 	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/segment"
+	"see/internal/state"
 	"see/internal/topo"
 )
 
@@ -84,9 +85,13 @@ type Engine struct {
 
 	opts   Options
 	tracer sched.Tracer
+	// bank is the optional cross-slot segment bank; nil (the default)
+	// keeps the engine memoryless and byte-identical to pre-carry-over
+	// behavior.
+	bank *state.Bank
 }
 
-var _ sched.Engine = (*Engine)(nil)
+var _ sched.Stateful = (*Engine)(nil)
 
 // NewEngine builds the candidate set and solves the LP relaxation.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -181,6 +186,19 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		fm = e.opts.Chaos
 	}
 
+	// Cross-slot state: age out banked segments, then withdraw the
+	// survivors for this slot. Every bank interaction is gated on the bank
+	// being attached, so the disabled path is untouched.
+	var withdrawn []*qnet.Segment
+	if e.bank != nil {
+		if expired, decohered := e.bank.BeginSlot(); expired+decohered > 0 {
+			tr.Incident(sched.IncidentBankDecohered, expired+decohered)
+		}
+		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
+			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
+		}
+	}
+
 	// Step i: EPI identifies entanglement paths.
 	t0 := time.Now()
 	planned := e.identifyPaths(rng)
@@ -199,6 +217,9 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		return nil, err
 	}
 	res.ProvisionedPaths = len(provisioned)
+	// Carried segments substitute for planned creation attempts on their
+	// endpoint pair, shrinking this slot's reservation demand.
+	plan, _ = state.TrimPlan(plan, withdrawn)
 	res.Attempts = plan.TotalAttempts()
 	if traced {
 		for _, p := range provisioned {
@@ -233,9 +254,12 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 
 	// Steps iii–iv: ECE assembles connections from realized segments,
 	// sampling swaps as it goes; failed swaps consume segments but spare
-	// (redundant) segments allow further attempts.
+	// (redundant) segments allow further attempts. Withdrawn carried
+	// segments join the pool ahead of the fresh ones so the oldest photons
+	// are consumed preferentially.
 	t0 = time.Now()
-	conns, attempts := e.establishConnections(provisioned, created, rng)
+	pool := qnet.NewPool(append(withdrawn, created...))
+	conns, attempts := e.establishFromPool(provisioned, pool, rng)
 	res.Assembled = attempts
 
 	for _, c := range conns {
@@ -246,10 +270,25 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		res.PerPair[c.Pair]++
 		res.Connections = append(res.Connections, c)
 	}
+	// Cross-slot state: bank the slot's unconsumed leftovers (fresh and
+	// re-deposited carried segments alike) for the next slot, within each
+	// node's memory budget.
+	if e.bank != nil {
+		if accepted := e.bank.Deposit(pool.Unconsumed()); accepted > 0 {
+			tr.Incident(sched.IncidentBankDeposit, accepted)
+		}
+	}
 	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
 	tr.SlotEnd(res)
 	return res, nil
 }
+
+// AttachBank implements sched.Stateful: it installs the cross-slot segment
+// bank (nil detaches, restoring memoryless behavior).
+func (e *Engine) AttachBank(b *state.Bank) { e.bank = b }
+
+// Bank implements sched.Stateful.
+func (e *Engine) Bank() *state.Bank { return e.bank }
 
 // Algorithm returns the scheme label (sched.SEE unless overridden by
 // Options.Algorithm, e.g. by the E2E restriction).

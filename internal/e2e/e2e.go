@@ -13,6 +13,7 @@ import (
 	"see/internal/chaos"
 	"see/internal/core"
 	"see/internal/sched"
+	"see/internal/state"
 	"see/internal/topo"
 )
 
@@ -39,7 +40,7 @@ type Engine struct {
 	inner *core.Engine
 }
 
-var _ sched.Engine = (*Engine)(nil)
+var _ sched.Stateful = (*Engine)(nil)
 
 // NewEngine builds the E2E baseline over the network.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -80,3 +81,10 @@ func (e *Engine) UpperBound() float64 { return e.inner.UpperBound() }
 
 // Core exposes the underlying engine for diagnostics.
 func (e *Engine) Core() *core.Engine { return e.inner }
+
+// AttachBank implements sched.Stateful by delegating to the restricted SEE
+// engine (E2E's single-segment connections bank like any other).
+func (e *Engine) AttachBank(b *state.Bank) { e.inner.AttachBank(b) }
+
+// Bank implements sched.Stateful.
+func (e *Engine) Bank() *state.Bank { return e.inner.Bank() }

@@ -25,6 +25,7 @@ import (
 	"see/internal/greedy"
 	"see/internal/reps"
 	"see/internal/sched"
+	"see/internal/state"
 	"see/internal/topo"
 )
 
@@ -159,9 +160,15 @@ type Resilient struct {
 	fallback sched.Engine
 	failures int
 	lastErr  error
+	// bank is the cross-slot segment bank to attach to whichever engine
+	// ends up serving slots. It is held here because both the primary and
+	// the fallback are built lazily — and it deliberately survives
+	// degradation: banked photons sit in node memories, which do not care
+	// which scheduler failed over.
+	bank *state.Bank
 }
 
-var _ sched.Engine = (*Resilient)(nil)
+var _ sched.Stateful = (*Resilient)(nil)
 
 // NewResilient wraps the algorithm in the degradation ladder. budget <= 0
 // means no deadline (the primary still degrades on solver errors or
@@ -215,6 +222,7 @@ func (r *Resilient) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			r.lastErr = err
 		} else {
 			r.primary = eng
+			r.attachBank(eng)
 		}
 	}
 	if r.primary != nil {
@@ -226,6 +234,7 @@ func (r *Resilient) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			return nil, fmt.Errorf("engines: greedy fallback: %w (primary: %v)", err, r.lastErr)
 		}
 		r.fallback = eng
+		r.attachBank(eng)
 	}
 	r.tracer.Incident(sched.IncidentDegraded, 1)
 	return r.fallback.RunSlot(rng)
@@ -250,4 +259,27 @@ func (r *Resilient) UpperBound() float64 {
 // unavailable and the error of its last failed construction.
 func (r *Resilient) Degraded() (bool, error) {
 	return r.primary == nil && r.failures > 0, r.lastErr
+}
+
+// AttachBank implements sched.Stateful. The bank is handed to whichever
+// engine serves slots — including a primary built lazily on a later slot —
+// so banked segments survive degradation and recovery alike.
+func (r *Resilient) AttachBank(b *state.Bank) {
+	r.bank = b
+	r.attachBank(r.primary)
+	r.attachBank(r.fallback)
+}
+
+// Bank implements sched.Stateful.
+func (r *Resilient) Bank() *state.Bank { return r.bank }
+
+// attachBank forwards the stored bank to a newly built engine (no-op for
+// a nil engine or a nil bank).
+func (r *Resilient) attachBank(eng sched.Engine) {
+	if eng == nil || r.bank == nil {
+		return
+	}
+	if s, ok := eng.(sched.Stateful); ok {
+		s.AttachBank(r.bank)
+	}
 }

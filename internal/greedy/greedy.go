@@ -25,6 +25,7 @@ import (
 	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/segment"
+	"see/internal/state"
 	"see/internal/topo"
 )
 
@@ -88,9 +89,12 @@ type Engine struct {
 
 	opts   Options
 	tracer sched.Tracer
+	// bank is the optional cross-slot segment bank; nil keeps the engine
+	// memoryless (see the matching field in core.Engine).
+	bank *state.Bank
 }
 
-var _ sched.Engine = (*Engine)(nil)
+var _ sched.Stateful = (*Engine)(nil)
 
 // NewEngine enumerates candidates and fixes the greedy plan. It never
 // solves an LP, so unlike the other engines it needs no context/budget
@@ -299,7 +303,6 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		LPObjective:      e.expected,
 		PlannedPaths:     len(e.paths),
 		ProvisionedPaths: len(e.paths),
-		Attempts:         e.plan.TotalAttempts(),
 		PerPair:          make([]int, len(e.Pairs)),
 	}
 
@@ -310,6 +313,23 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		faultsBefore = e.opts.Chaos.Counts().Total()
 		fm = e.opts.Chaos
 	}
+
+	// Cross-slot state: withdraw surviving carried segments and trim their
+	// endpoint pairs out of the fixed plan (the cached e.plan is never
+	// mutated). With no bank, plan aliases e.plan and the slot is
+	// byte-identical to the memoryless path.
+	plan := e.plan
+	var withdrawn []*qnet.Segment
+	if e.bank != nil {
+		if expired, decohered := e.bank.BeginSlot(); expired+decohered > 0 {
+			tr.Incident(sched.IncidentBankDecohered, expired+decohered)
+		}
+		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
+			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
+		}
+		plan, _ = state.TrimPlan(plan, withdrawn)
+	}
+	res.Attempts = plan.TotalAttempts()
 
 	t0 := time.Now()
 	if traced {
@@ -324,8 +344,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		for _, pp := range e.paths {
 			tr.PathProvisioned(pp.commodity)
 		}
-		for _, c := range e.plan.SortedCandidates() {
-			tr.AttemptReserved(c.U(), c.V(), e.plan[c])
+		for _, c := range plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), plan[c])
 		}
 	}
 	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
@@ -337,7 +357,7 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(e.plan, rng, fm, attemptObs)
+	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
@@ -347,8 +367,10 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 
+	// Withdrawn carried segments join the pool ahead of the fresh ones so
+	// the oldest photons are consumed preferentially.
 	t0 = time.Now()
-	pool := qnet.NewPool(created)
+	pool := qnet.NewPool(append(withdrawn, created...))
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
 	perPair := make([]int, len(e.Pairs))
 	for {
@@ -389,6 +411,13 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			break
 		}
 	}
+	// Cross-slot state: bank the slot's unconsumed leftovers for the next
+	// slot, within each node's memory budget.
+	if e.bank != nil {
+		if accepted := e.bank.Deposit(pool.Unconsumed()); accepted > 0 {
+			tr.Incident(sched.IncidentBankDeposit, accepted)
+		}
+	}
 	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
 	tr.SlotEnd(res)
 	return res, nil
@@ -400,3 +429,10 @@ func (e *Engine) Algorithm() sched.Algorithm { return e.opts.Algorithm }
 // UpperBound returns the heuristic expected established count of the fixed
 // plan (not an LP bound — the greedy solves none).
 func (e *Engine) UpperBound() float64 { return e.expected }
+
+// AttachBank implements sched.Stateful: it installs the cross-slot segment
+// bank (nil detaches, restoring memoryless behavior).
+func (e *Engine) AttachBank(b *state.Bank) { e.bank = b }
+
+// Bank implements sched.Stateful.
+func (e *Engine) Bank() *state.Bank { return e.bank }

@@ -1,0 +1,27 @@
+package par_test
+
+import (
+	"fmt"
+
+	"see/internal/par"
+)
+
+// ExampleFor demonstrates the determinism discipline: each iteration
+// writes only its own output slot, so the reduction (reading the slots in
+// index order afterwards) is identical at any worker count.
+func ExampleFor() {
+	squares := make([]int, 8)
+	par.For(4, len(squares), func(i int) {
+		squares[i] = i * i
+	})
+	fmt.Println(squares)
+
+	serial := make([]int, 8)
+	par.For(1, len(serial), func(i int) {
+		serial[i] = i * i
+	})
+	fmt.Println("serial identical:", fmt.Sprint(serial) == fmt.Sprint(squares))
+	// Output:
+	// [0 1 4 9 16 25 36 49]
+	// serial identical: true
+}

@@ -209,6 +209,22 @@ func (p *Pool) Pairs() []segment.PairKey {
 	return keys
 }
 
+// Unconsumed returns every segment no connection consumed, in deterministic
+// order (sorted endpoint pairs, then insertion order within a pair). The
+// cross-slot state bank deposits from this list, so the set of banked
+// segments is a pure function of the slot's outcome.
+func (p *Pool) Unconsumed() []*Segment {
+	var out []*Segment
+	for _, pk := range p.Pairs() {
+		for _, s := range p.byPair[pk] {
+			if !s.consumed {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
 // Connection is an end-to-end entanglement connection assembled from
 // segments, pending its swap operations.
 type Connection struct {

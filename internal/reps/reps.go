@@ -27,6 +27,7 @@ import (
 	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/segment"
+	"see/internal/state"
 	"see/internal/topo"
 )
 
@@ -74,9 +75,12 @@ type Engine struct {
 
 	opts   Options
 	tracer sched.Tracer
+	// bank is the optional cross-slot segment bank; nil keeps the engine
+	// memoryless (see the matching field in core.Engine).
+	bank *state.Bank
 }
 
-var _ sched.Engine = (*Engine)(nil)
+var _ sched.Stateful = (*Engine)(nil)
 
 // NewEngine provisions entanglement links for the workload.
 func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
@@ -270,7 +274,6 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	tr.SlotStart(sched.REPS)
 	res := &sched.SlotResult{
 		LPObjective: e.LPObjective,
-		Attempts:    e.Plan.TotalAttempts(),
 		PerPair:     make([]int, len(e.Pairs)),
 	}
 
@@ -284,13 +287,30 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		fm = e.opts.Chaos
 	}
 
+	// Cross-slot state: withdraw surviving carried links and trim their
+	// endpoint pairs out of the provisioning plan (the cached e.Plan is
+	// never mutated). With no bank attached, plan aliases e.Plan and the
+	// slot is byte-identical to the memoryless path.
+	plan := e.Plan
+	var withdrawn []*qnet.Segment
+	if e.bank != nil {
+		if expired, decohered := e.bank.BeginSlot(); expired+decohered > 0 {
+			tr.Incident(sched.IncidentBankDecohered, expired+decohered)
+		}
+		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
+			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
+		}
+		plan, _ = state.TrimPlan(plan, withdrawn)
+	}
+	res.Attempts = plan.TotalAttempts()
+
 	// The reservation events (and the sort that orders them) exist only for
 	// the tracer; skip them on bare runs. The rng stream is unaffected.
 	traced := !sched.IsNop(tr)
 	t0 := time.Now()
 	if traced {
-		for _, c := range e.Plan.SortedCandidates() {
-			tr.AttemptReserved(c.U(), c.V(), e.Plan[c])
+		for _, c := range plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), plan[c])
 		}
 	}
 	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
@@ -302,7 +322,7 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(e.Plan, rng, fm, attemptObs)
+	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
@@ -312,8 +332,11 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
 
+	// Withdrawn carried links join the pool ahead of the fresh ones so the
+	// oldest photons are consumed preferentially.
 	t0 = time.Now()
-	conns, assembled := e.selectPaths(created, rng)
+	pool := qnet.NewPool(append(withdrawn, created...))
+	conns, assembled := e.selectFromPool(pool, rng)
 	res.Assembled = assembled
 	for _, c := range conns {
 		if err := c.Validate(); err != nil {
@@ -322,6 +345,13 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		res.Established++
 		res.PerPair[c.Pair]++
 		res.Connections = append(res.Connections, c)
+	}
+	// Cross-slot state: bank the slot's unconsumed leftovers for the next
+	// slot, within each node's memory budget.
+	if e.bank != nil {
+		if accepted := e.bank.Deposit(pool.Unconsumed()); accepted > 0 {
+			tr.Incident(sched.IncidentBankDeposit, accepted)
+		}
 	}
 	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
 	tr.SlotEnd(res)
@@ -343,10 +373,16 @@ func (e *Engine) SelectPaths(created []*qnet.Segment, rng *rand.Rand) []*qnet.Co
 // consumes one realized link per hop; swap failures make attempts exceed
 // the established count).
 func (e *Engine) selectPaths(created []*qnet.Segment, rng *rand.Rand) ([]*qnet.Connection, int) {
+	return e.selectFromPool(qnet.NewPool(created), rng)
+}
+
+// selectFromPool is selectPaths over a caller-built pool; the carry-over
+// path uses it so carried links mix with fresh ones and the leftovers can
+// be banked afterwards.
+func (e *Engine) selectFromPool(pool *qnet.Pool, rng *rand.Rand) ([]*qnet.Connection, int) {
 	tr := e.tracer
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
 	attempts := 0
-	pool := qnet.NewPool(created)
 	aux := graph.New(e.Net.NumNodes())
 	pairsWith := pool.Pairs()
 	auxPairs := make([]segment.PairKey, 0, len(pairsWith))
@@ -418,3 +454,10 @@ func (e *Engine) Algorithm() sched.Algorithm { return sched.REPS }
 
 // UpperBound returns the provisioning LP optimum.
 func (e *Engine) UpperBound() float64 { return e.LPObjective }
+
+// AttachBank implements sched.Stateful: it installs the cross-slot segment
+// bank (nil detaches, restoring memoryless behavior).
+func (e *Engine) AttachBank(b *state.Bank) { e.bank = b }
+
+// Bank implements sched.Stateful.
+func (e *Engine) Bank() *state.Bank { return e.bank }

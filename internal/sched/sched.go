@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"see/internal/qnet"
+	"see/internal/state"
 )
 
 // Algorithm identifies an entanglement-establishment scheme.
@@ -128,4 +129,24 @@ type Engine interface {
 	// single-pass throughput; retry-based establishment (backed by
 	// redundant segments) can deliver somewhat more.
 	UpperBound() float64
+}
+
+// Stateful is the optional cross-slot state capability (see internal/state
+// and DESIGN.md §6). An engine implementing it can carry
+// realized-but-unconsumed entanglement segments across slot boundaries
+// through an attached state.Bank: it withdraws surviving segments before
+// planning each slot (reducing that slot's reservation demand) and
+// deposits the slot's surplus at the end.
+//
+// The capability is strictly opt-in: with no bank attached (Bank() == nil)
+// a Stateful engine must be byte-identical to one without the capability,
+// the same contract zero fault plans honor. Attach a bank before the first
+// RunSlot and never swap it mid-run; all four engines plus the resilient
+// wrapper in internal/engines implement the interface.
+type Stateful interface {
+	Engine
+	// AttachBank installs the cross-slot segment bank (nil detaches).
+	AttachBank(b *state.Bank)
+	// Bank returns the attached bank, or nil when carry-over is disabled.
+	Bank() *state.Bank
 }

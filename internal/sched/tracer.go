@@ -68,10 +68,19 @@ const (
 	IncidentMessageDrop
 	// IncidentMessageRetry counts bus redeliveries of dropped messages.
 	IncidentMessageRetry
+	// IncidentBankWithdraw counts carried segments withdrawn from the
+	// cross-slot state bank at slot start (see internal/state).
+	IncidentBankWithdraw
+	// IncidentBankDeposit counts surplus realized segments deposited into
+	// the state bank at slot end.
+	IncidentBankDeposit
+	// IncidentBankDecohered counts banked segments lost at a slot boundary
+	// to the age window or the stochastic decoherence hazard.
+	IncidentBankDecohered
 )
 
 // NumIncidents is the number of incident kinds.
-const NumIncidents = 5
+const NumIncidents = 8
 
 // String implements fmt.Stringer.
 func (i Incident) String() string {
@@ -86,6 +95,12 @@ func (i Incident) String() string {
 		return "msg_drop"
 	case IncidentMessageRetry:
 		return "msg_retry"
+	case IncidentBankWithdraw:
+		return "bank_withdraw"
+	case IncidentBankDeposit:
+		return "bank_deposit"
+	case IncidentBankDecohered:
+		return "bank_decohere"
 	default:
 		return fmt.Sprintf("Incident(%d)", int(i))
 	}

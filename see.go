@@ -26,6 +26,7 @@ import (
 	"see/internal/chaos"
 	"see/internal/engines"
 	"see/internal/sched"
+	"see/internal/state"
 	"see/internal/topo"
 	"see/internal/xrand"
 )
@@ -226,6 +227,34 @@ type SchedulerOptions struct {
 	// a bounded number of times; every degradation and retry is reported
 	// through the Tracer as an Incident. Zero means no budget.
 	SlotBudget time.Duration
+	// CarryOver enables the cross-slot entanglement-state bank (see
+	// internal/state and DESIGN.md §6): realized segments no connection
+	// consumed are kept in node memories across the slot boundary — within
+	// each node's memory size m_u — and withdrawn at the next slot, where
+	// they substitute for planned creation attempts. Disabled (the
+	// default), the scheduler is memoryless and byte-identical to pre-bank
+	// behavior. Banked segments decohere stochastically at each boundary
+	// with the Faults plan's decoherence probability (zero without a plan).
+	CarryOver bool
+	// DecoherenceSlots is the bank's age window when CarryOver is on: the
+	// number of slot boundaries a banked segment survives before its
+	// quantum memory decoheres deterministically (default 1 — usable in
+	// the next slot only). Ignored when CarryOver is false.
+	DecoherenceSlots int
+}
+
+// CarryStats tallies the lifetime activity of a scheduler's cross-slot
+// state bank: segments deposited, rejected for lack of memory, withdrawn,
+// and lost to decoherence. Read it with SchedulerCarryStats.
+type CarryStats = state.Stats
+
+// SchedulerCarryStats returns the carry-over bank tallies of a scheduler
+// built with CarryOver enabled (zero stats otherwise).
+func SchedulerCarryStats(s Scheduler) CarryStats {
+	if st, ok := s.(sched.Stateful); ok {
+		return st.Bank().Stats()
+	}
+	return CarryStats{}
 }
 
 // SlotResult reports one simulated time slot. It is the canonical
@@ -288,6 +317,12 @@ const (
 	IncidentRetry        = sched.IncidentRetry
 	IncidentMessageDrop  = sched.IncidentMessageDrop
 	IncidentMessageRetry = sched.IncidentMessageRetry
+	// Carry-over bank events (fire only with CarryOver enabled): segments
+	// withdrawn at slot start, deposited at slot end, and lost at a slot
+	// boundary to the age window or stochastic decoherence.
+	IncidentBankWithdraw  = sched.IncidentBankWithdraw
+	IncidentBankDeposit   = sched.IncidentBankDeposit
+	IncidentBankDecohered = sched.IncidentBankDecohered
 )
 
 // FaultPlan is a deterministic fault schedule for a scheduler: node crash
@@ -346,10 +381,32 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		}
 		cfg.Chaos = inj
 	}
+	var s Scheduler
+	var err error
 	if o.SlotBudget > 0 {
-		return engines.NewResilient(alg, net.inner, raw, cfg, o.SlotBudget)
+		s, err = engines.NewResilient(alg, net.inner, raw, cfg, o.SlotBudget)
+	} else {
+		s, err = engines.New(alg, net.inner, raw, cfg)
 	}
-	return engines.New(alg, net.inner, raw, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if o.CarryOver {
+		// The bank's stochastic boundary hazard reuses the fault plan's
+		// decoherence knob and seed; without a plan the hazard is zero and
+		// only the age window drains the bank.
+		pol := state.Policy{CarrySlots: o.DecoherenceSlots}
+		if o.Faults != nil {
+			pol.Decoherence = o.Faults.Decoherence
+			pol.Seed = o.Faults.Seed
+		}
+		st, ok := s.(sched.Stateful)
+		if !ok {
+			return nil, errors.New("see: scheduler does not support carry-over")
+		}
+		st.AttachBank(state.NewBank(net.inner, pol))
+	}
+	return s, nil
 }
 
 // LoadNetwork reads a topology from the edge-list text format of

@@ -44,6 +44,9 @@ type WorkloadResult struct {
 	ThroughputPerSlot float64
 	// PerPairDelivered breaks Delivered down by SD pair.
 	PerPairDelivered []int
+	// Carry reports the scheduler's cross-slot bank activity over the run
+	// (zero for schedulers without CarryOver).
+	Carry CarryStats
 }
 
 // RunWorkload drives a scheduler slot by slot against the workload. The
@@ -113,6 +116,7 @@ func RunWorkload(sched Scheduler, pairs int, w WorkloadConfig) (*WorkloadResult,
 		res.MeanLatencySlots = latencySum / float64(res.Delivered)
 	}
 	res.ThroughputPerSlot = float64(res.Delivered) / float64(w.Slots)
+	res.Carry = SchedulerCarryStats(sched)
 	return res, nil
 }
 
