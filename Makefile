@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke docs-check figures
+.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke docs-check cover cover-update fuzz-smoke figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -23,11 +23,29 @@ race:
 
 # verify is the repo's full gate: vet, the docs gate, build, the test
 # suite under the race detector (the experiment harness runs trials
-# concurrently), a single-iteration pass over the substrate benchmarks so
-# perf-path regressions that only bench code exercises are caught early,
-# and a chaos smoke that drives fault injection and the degradation
-# ladder end-to-end through the CLI.
-verify: vet docs-check build race bench-smoke chaos-smoke
+# concurrently), the per-package coverage floor, a short fuzz pass over
+# every committed fuzz target, a single-iteration pass over the substrate
+# benchmarks so perf-path regressions that only bench code exercises are
+# caught early, and a chaos smoke that drives fault injection and the
+# degradation ladder end-to-end through the CLI.
+verify: vet docs-check build race cover fuzz-smoke bench-smoke chaos-smoke
+
+# cover enforces the committed per-package statement-coverage floors in
+# COVERAGE.txt (cmd/covercheck); cover-update re-derives the floors after
+# an intentional test-surface change.
+cover:
+	$(GO) test -cover ./... | $(GO) run ./cmd/covercheck
+
+cover-update:
+	$(GO) test -cover ./... | $(GO) run ./cmd/covercheck -update
+
+# fuzz-smoke runs each committed fuzz target for a few seconds beyond its
+# seed corpus — a quick shake, not a soak (go test accepts one -fuzz
+# pattern per package invocation, hence the separate lines).
+FUZZTIME ?= 5s
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/chaos
+	$(GO) test -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) -run='^$$' ./internal/topo
 
 # docs-check keeps the documentation honest: gofmt-clean tree, a package
 # comment on every internal/* package, and every seesim flag present in

@@ -1,0 +1,170 @@
+// Command covercheck is the coverage gate wired into `make cover` (and
+// through it `make verify`): it reads `go test -cover ./...` output on
+// stdin and compares each package's statement coverage against the
+// committed floor in COVERAGE.txt, failing on any regression below a
+// floor.
+//
+// Floors are deliberately a couple of points below the measured value so
+// routine churn does not trip the gate; a real coverage drop does. Update
+// the floors after intentionally growing or shrinking a package's test
+// surface:
+//
+//	go test -cover ./... | go run ./cmd/covercheck -update
+//
+// which re-derives every floor as the current measurement minus the
+// margin. Packages without test files carry no floor and are ignored.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	floorsPath := flag.String("floors", "COVERAGE.txt", "committed per-package coverage floors")
+	update := flag.Bool("update", false, "rewrite the floors file from the measured coverage minus margin")
+	margin := flag.Float64("margin", 2.0, "percentage points of slack between measurement and floor")
+	flag.Parse()
+
+	measured, err := parseCoverOutput(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	if len(measured) == 0 {
+		fmt.Fprintln(os.Stderr, "covercheck: no coverage lines on stdin (pipe `go test -cover ./...` into this command)")
+		os.Exit(1)
+	}
+
+	if *update {
+		if err := writeFloors(*floorsPath, measured, *margin); err != nil {
+			fmt.Fprintln(os.Stderr, "covercheck:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("covercheck: wrote %d floors to %s\n", len(measured), *floorsPath)
+		return
+	}
+
+	floors, err := readFloors(*floorsPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	var problems []string
+	for _, pkg := range sortedKeys(floors) {
+		floor := floors[pkg]
+		got, ok := measured[pkg]
+		if !ok {
+			problems = append(problems, fmt.Sprintf("%s: floor %.1f%% but no coverage measured (tests deleted?)", pkg, floor))
+			continue
+		}
+		if got < floor {
+			problems = append(problems, fmt.Sprintf("%s: coverage %.1f%% fell below floor %.1f%%", pkg, got, floor))
+		}
+	}
+	for _, pkg := range sortedKeys(measured) {
+		if _, ok := floors[pkg]; !ok {
+			problems = append(problems, fmt.Sprintf("%s: has coverage %.1f%% but no committed floor (run covercheck -update)", pkg, measured[pkg]))
+		}
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, "covercheck:", p)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("covercheck: %d packages at or above their coverage floors\n", len(floors))
+}
+
+// parseCoverOutput extracts per-package statement coverage from `go test
+// -cover` output. Packages without test files ("[no test files]") and
+// packages reporting "coverage: [no statements]" are skipped.
+func parseCoverOutput(f *os.File) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "ok") {
+			continue
+		}
+		i := strings.Index(line, "coverage: ")
+		if i < 0 {
+			continue
+		}
+		rest := strings.TrimPrefix(line[i:], "coverage: ")
+		pct, _, ok := strings.Cut(rest, "%")
+		if !ok {
+			continue
+		}
+		v, err := strconv.ParseFloat(pct, 64)
+		if err != nil {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			continue
+		}
+		out[fields[1]] = v
+	}
+	return out, sc.Err()
+}
+
+// readFloors parses the floors file: one "import/path floor%" pair per
+// line, '#' comments allowed.
+func readFloors(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]float64)
+	for n, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%s:%d: want \"package floor%%\", got %q", path, n+1, line)
+		}
+		v, err := strconv.ParseFloat(strings.TrimSuffix(fields[1], "%"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad floor %q: %v", path, n+1, fields[1], err)
+		}
+		out[fields[0]] = v
+	}
+	return out, nil
+}
+
+// writeFloors renders the floors file from the measurement, clamping at
+// zero so sparsely covered packages keep a meaningful (non-negative)
+// floor.
+func writeFloors(path string, measured map[string]float64, margin float64) error {
+	var b strings.Builder
+	b.WriteString("# Per-package statement-coverage floors enforced by `make cover`\n")
+	b.WriteString("# (cmd/covercheck). Regenerate after intentional test-surface changes:\n")
+	b.WriteString("#   go test -cover ./... | go run ./cmd/covercheck -update\n")
+	for _, pkg := range sortedKeys(measured) {
+		floor := measured[pkg] - margin
+		if floor < 0 {
+			floor = 0
+		}
+		fmt.Fprintf(&b, "%s %.1f%%\n", pkg, floor)
+	}
+	return os.WriteFile(path, []byte(b.String()), 0o644)
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -120,7 +120,9 @@ func hasPackageComment(dir string) (bool, error) {
 }
 
 // seesimFlags extracts the flag names registered via the flag package in
-// the given file (flag.String("name", ...), flag.Int, flag.Bool, ...).
+// the given file — package-level flag.String("name", ...) calls as well as
+// method calls on a *flag.FlagSet variable named fs (the testable-main
+// pattern: fs := flag.NewFlagSet(...); fs.String("name", ...)).
 func seesimFlags(path string) ([]string, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, path, nil, 0)
@@ -138,7 +140,7 @@ func seesimFlags(path string) ([]string, error) {
 			return true
 		}
 		pkg, ok := sel.X.(*ast.Ident)
-		if !ok || pkg.Name != "flag" {
+		if !ok || (pkg.Name != "flag" && pkg.Name != "fs") {
 			return true
 		}
 		switch sel.Sel.Name {

@@ -12,41 +12,54 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"see"
 	"see/internal/xrand"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected: it parses args, runs the
+// simulation and writes reports to stdout and diagnostics to stderr,
+// returning the process exit code. The golden-file tests drive it directly.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("seesim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		nodes    = flag.Int("nodes", 200, "number of quantum nodes")
-		pairs    = flag.Int("pairs", 20, "number of SD pairs")
-		channels = flag.Int("channels", 3, "quantum channels per link")
-		memory   = flag.Int("memory", 10, "quantum memory per node")
-		swap     = flag.Float64("swap", 0.9, "quantum swapping success probability")
-		alpha    = flag.Float64("alpha", 2e-4, "attenuation parameter in p = exp(-alpha*l)+delta")
-		trials   = flag.Int("trials", 10, "independent trials (topology redrawn each)")
-		slots    = flag.Int("slots", 1, "time slots per trial")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		alg      = flag.String("alg", "all", "scheduler: see, reps, e2e, a comma-separated list, or all")
-		topoName = flag.String("topo", "waxman", "topology: waxman or nsfnet")
-		traffic  = flag.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
-		trace    = flag.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
-		workers  = flag.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
-		faults   = flag.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02\"")
-		budget   = flag.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
-		jsonl    = flag.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
-		carry    = flag.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
-		decohere = flag.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
+		nodes    = fs.Int("nodes", 200, "number of quantum nodes")
+		pairs    = fs.Int("pairs", 20, "number of SD pairs")
+		channels = fs.Int("channels", 3, "quantum channels per link")
+		memory   = fs.Int("memory", 10, "quantum memory per node")
+		swap     = fs.Float64("swap", 0.9, "quantum swapping success probability")
+		alpha    = fs.Float64("alpha", 2e-4, "attenuation parameter in p = exp(-alpha*l)+delta")
+		trials   = fs.Int("trials", 10, "independent trials (topology redrawn each)")
+		slots    = fs.Int("slots", 1, "time slots per trial")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		alg      = fs.String("alg", "all", "scheduler: see, reps, e2e, greedy, contend, a comma-separated list, or all")
+		topoName = fs.String("topo", "waxman", "topology: waxman or nsfnet")
+		traffic  = fs.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
+		trace    = fs.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
+		workers  = fs.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+		faults   = fs.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02\"")
+		budget   = fs.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
+		jsonl    = fs.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
+		carry    = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
+		decohere = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	algs, err := parseAlgs(*alg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	cfg := see.DefaultNetworkConfig()
@@ -60,16 +73,16 @@ func main() {
 
 	pattern, err := parseTraffic(*traffic)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, err)
+		return 2
 	}
 
 	var plan *see.FaultPlan
 	if *faults != "" {
 		plan, err = see.ParseFaultSpec(*faults)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintln(stderr, err)
+			return 2
 		}
 	}
 	// Fault injection, slot budgets and carry-over report through the
@@ -79,13 +92,13 @@ func main() {
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fmt.Fprintln(stderr, err)
+			return 1
 		}
 		jsonlTracer = see.NewJSONLTracer(f)
 		defer func() {
 			if err := jsonlTracer.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "trace-jsonl: %v\n", err)
+				fmt.Fprintf(stderr, "trace-jsonl: %v\n", err)
 			}
 		}()
 	}
@@ -101,8 +114,8 @@ func main() {
 		trialSeed := *seed + int64(trial)
 		net, sdPairs, err := buildInstance(*topoName, cfg, *pairs, pattern, trialSeed)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "trial %d: %v\n", trial, err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "trial %d: %v\n", trial, err)
+			return 1
 		}
 		for _, a := range algs {
 			opts := &see.SchedulerOptions{
@@ -124,15 +137,15 @@ func main() {
 			}
 			sc, err := see.NewScheduler(a, net, sdPairs, opts)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
-				os.Exit(1)
+				fmt.Fprintf(stderr, "trial %d (%v): %v\n", trial, a, err)
+				return 1
 			}
 			rng := xrand.ForTrial(trialSeed, 1000)
 			for s := 0; s < *slots; s++ {
 				res, err := sc.RunSlot(rng)
 				if err != nil {
-					fmt.Fprintf(os.Stderr, "trial %d (%v): %v\n", trial, a, err)
-					os.Exit(1)
+					fmt.Fprintf(stderr, "trial %d (%v): %v\n", trial, a, err)
+					return 1
 				}
 				totals[a] += float64(res.Established)
 			}
@@ -143,42 +156,78 @@ func main() {
 		slotCount += *slots
 	}
 
-	fmt.Printf("# topo=%s traffic=%s, %d SD pairs, %d channels, %d memory, q=%.2f, alpha=%.1e\n",
-		strings.ToLower(*topoName), strings.ToLower(*traffic), *pairs, *channels, *memory, *swap, *alpha)
-	if strings.EqualFold(*topoName, "waxman") {
-		fmt.Printf("# %d nodes\n", *nodes)
+	report(stdout, reportParams{
+		algs: algs, nodes: *nodes, pairs: *pairs, channels: *channels,
+		memory: *memory, swap: *swap, alpha: *alpha, trials: *trials,
+		slots: *slots, slotCount: slotCount, topoName: *topoName,
+		traffic: *traffic, trace: *trace, countInjected: countInjected,
+		faults: *faults, budget: *budget, carry: *carry, decohere: *decohere,
+		totals: totals, bounds: bounds, tracers: tracers,
+	})
+	return 0
+}
+
+// reportParams carries the run configuration and results into report.
+type reportParams struct {
+	algs                           []see.Algorithm
+	nodes, pairs, channels, memory int
+	swap, alpha                    float64
+	trials, slots, slotCount       int
+	topoName, traffic              string
+	trace, countInjected, carry    bool
+	faults                         string
+	budget                         time.Duration
+	decohere                       int
+	totals, bounds                 map[see.Algorithm]float64
+	tracers                        map[see.Algorithm]*see.CountingTracer
+}
+
+// report prints the run summary: the configuration header, the throughput
+// table, and — when tracing or robustness features are active — the
+// pipeline counters and incident lines.
+func report(w io.Writer, p reportParams) {
+	fmt.Fprintf(w, "# topo=%s traffic=%s, %d SD pairs, %d channels, %d memory, q=%.2f, alpha=%.1e\n",
+		strings.ToLower(p.topoName), strings.ToLower(p.traffic), p.pairs, p.channels, p.memory, p.swap, p.alpha)
+	if strings.EqualFold(p.topoName, "waxman") {
+		fmt.Fprintf(w, "# %d nodes\n", p.nodes)
 	}
-	fmt.Printf("# %d trials x %d slots\n", *trials, *slots)
-	fmt.Printf("%-6s %-18s %-14s\n", "alg", "throughput(qbps)", "LP bound/slot")
-	for _, a := range algs {
-		fmt.Printf("%-6s %-18.3f %-14.3f\n",
-			a, totals[a]/float64(slotCount), bounds[a]/float64(*trials))
+	fmt.Fprintf(w, "# %d trials x %d slots\n", p.trials, p.slots)
+	fmt.Fprintf(w, "%-7s %-18s %-14s\n", "alg", "throughput(qbps)", "LP bound/slot")
+	for _, a := range p.algs {
+		fmt.Fprintf(w, "%-7s %-18.3f %-14.3f\n",
+			a, p.totals[a]/float64(p.slotCount), p.bounds[a]/float64(p.trials))
 	}
-	if *trace {
-		for _, a := range algs {
-			fmt.Printf("\n# %v pipeline\n%s\n", a, tracers[a])
+	if p.trace {
+		for _, a := range p.algs {
+			fmt.Fprintf(w, "\n# %v pipeline\n%s\n", a, p.tracers[a])
 		}
 	}
-	if countInjected {
+	if p.countInjected {
 		// The bank incident kinds print only under -carry so fault-only
-		// runs keep their exact pre-carry output.
-		if *carry {
-			fmt.Printf("\n# incidents (faults=%q slot-budget=%v carry=%d-slot)\n", *faults, *budget, *decohere)
+		// runs keep bank-free incident lines.
+		if p.carry {
+			fmt.Fprintf(w, "\n# incidents (faults=%q slot-budget=%v carry=%d-slot)\n", p.faults, p.budget, p.decohere)
 		} else {
-			fmt.Printf("\n# incidents (faults=%q slot-budget=%v)\n", *faults, *budget)
+			fmt.Fprintf(w, "\n# incidents (faults=%q slot-budget=%v)\n", p.faults, p.budget)
 		}
-		for _, a := range algs {
-			c := tracers[a].Counts()
-			fmt.Printf("%-6v", a)
+		for _, a := range p.algs {
+			c := p.tracers[a].Counts()
+			fmt.Fprintf(w, "%-7v", a)
 			for k := see.Incident(0); k < see.Incident(len(c.Incidents)); k++ {
-				if !*carry && k >= see.IncidentBankWithdraw {
+				if !p.carry && isBankIncident(k) {
 					continue
 				}
-				fmt.Printf(" %s=%d", k, c.IncidentCount(k))
+				fmt.Fprintf(w, " %s=%d", k, c.IncidentCount(k))
 			}
-			fmt.Println()
+			fmt.Fprintln(w)
 		}
 	}
+}
+
+// isBankIncident reports whether the kind fires only with the carry-over
+// bank enabled (those lines are suppressed in bank-less runs).
+func isBankIncident(k see.Incident) bool {
+	return k == see.IncidentBankWithdraw || k == see.IncidentBankDeposit || k == see.IncidentBankDecohered
 }
 
 // explicitFloat maps a flag value of 0 to see.ExplicitZero so that

@@ -178,7 +178,9 @@ func ParseSpec(s string) (*FaultPlan, error) {
 			}
 		case "loss", "decohere":
 			v, err := strconv.ParseFloat(val, 64)
-			if err != nil || v < 0 || v > 1 {
+			// NaN slips through a plain range check (every comparison is
+			// false), so reject it via the negated form.
+			if err != nil || !(v >= 0 && v <= 1) {
 				return nil, fmt.Errorf("chaos: bad %s probability %q (want [0,1])", key, val)
 			}
 			if key == "loss" {

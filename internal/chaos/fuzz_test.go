@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSpec checks the fault-spec parser on arbitrary input: it must
+// never panic, and any spec it accepts must round-trip through the
+// canonical String rendering — re-parsing the rendering succeeds, yields
+// an equal plan, and renders to the same string (String is a fixed point
+// after one canonicalization).
+func FuzzParseSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02",
+		"node=0",
+		"node=3@2-5,link=1@4-4",
+		"loss=1",
+		"decohere=0",
+		"seed=-1;node=2@0-",
+		"seed=9223372036854775807",
+		"node=3@five-6",
+		"bogus=1",
+		"node=",
+		";;;",
+		"loss=1.5",
+		"decohere=NaN",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParseSpec(s)
+		if err != nil {
+			return
+		}
+		if p == nil {
+			t.Fatalf("ParseSpec(%q) returned nil plan and nil error", s)
+		}
+		canon := p.String()
+		q, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(p, q) {
+			t.Fatalf("round-trip changed the plan: %q gave %+v, canonical %q gave %+v", s, p, canon, q)
+		}
+		if again := q.String(); again != canon {
+			t.Fatalf("String is not canonical: %q then %q", canon, again)
+		}
+	})
+}

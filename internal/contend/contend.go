@@ -1,0 +1,560 @@
+// Package contend implements a contention-aware routing engine in the
+// spirit of Q-CAST (Shi & Qian, SIGCOMM 2020): instead of the LP the paper
+// solves, each SD pair gets a small catalogue of candidate entanglement
+// paths on the segment graph, every candidate is scored by an
+// expected-throughput metric E(ℓ) built from the paper's primitives —
+// segment creation probability p^k_uv, swap success q_u and the attempt
+// width the residual channels c_uv and memories m_u can still support —
+// and paths are accepted best-score-first with explicit contention
+// accounting: an accepted path decrements the residual channel capacity of
+// every fibre link its realizations cross and the residual memory of every
+// segment endpoint, so later candidates are scored against what is
+// actually left.
+//
+// On top of the primary plan the engine reserves *recovery* attempts
+// (Q-CAST's recovery paths, collapsed to the segment level): for each
+// planned hop, one attempt on the next-best physical realization of the
+// same endpoint pair. Recovery attempts fire only in the physical phase
+// and only for hops whose primary attempts all failed, converting some
+// single-hop bad luck into established connections instead of lost paths.
+// Recovery activations are reported as sched.IncidentRecovery.
+//
+// Like the greedy engine, planning is deterministic and happens once at
+// construction: RunSlot consumes the rng only for the physical phase,
+// recovery attempts and swaps, so a fixed rng state reproduces the slot.
+package contend
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"see/internal/chaos"
+	"see/internal/graph"
+	"see/internal/qnet"
+	"see/internal/sched"
+	"see/internal/segment"
+	"see/internal/state"
+	"see/internal/topo"
+)
+
+// Weights for the candidate-path enumeration on the segment graph, shared
+// with the greedy engine's pricing: infeasible elements get a prohibitive
+// weight and any path crossing one is rejected.
+const (
+	infeasibleWeight = 1e12
+	rejectThreshold  = 1e11
+)
+
+// Options tunes the contention-aware engine.
+type Options struct {
+	// Segment tunes candidate enumeration; the zero value uses the SEE
+	// defaults (hop cap 10) so the engine plans over the same segment
+	// catalogue as the LP engines it is compared against.
+	Segment segment.Options
+	// PathsPerPair is the number of candidate entanglement paths scored
+	// per SD pair (Yen on the segment graph; default 5).
+	PathsPerPair int
+	// RecoveryAttempts is the number of creation attempts reserved on the
+	// recovery realization of each planned hop (default 1; 0 disables
+	// recovery paths entirely).
+	RecoveryAttempts int
+	// Tracer observes the slot pipeline; nil means no instrumentation.
+	Tracer sched.Tracer
+	// Chaos injects deterministic faults into the physical phase; see the
+	// matching field in core.Options.
+	Chaos *chaos.Injector
+}
+
+// DefaultOptions returns the contention-aware defaults.
+func DefaultOptions() Options {
+	seg := segment.DefaultOptions()
+	seg.MaxSegmentHops = 10
+	return Options{Segment: seg, PathsPerPair: 5, RecoveryAttempts: 1}
+}
+
+// hop is one planned segment of a selected path: the endpoint pair, the
+// primary realization with its attempt count, and the optional recovery
+// realization fired only when every primary attempt fails.
+type hop struct {
+	pair     segment.PairKey
+	cand     *segment.Candidate
+	attempts int
+	// recovery is the next-best realization of the same endpoint pair
+	// (nil when none fits the residual resources); recAttempts is its
+	// reserved attempt budget.
+	recovery    *segment.Candidate
+	recAttempts int
+}
+
+// plannedPath is one accepted entanglement path with its score at
+// acceptance time.
+type plannedPath struct {
+	commodity int
+	nodes     graph.Path
+	hops      []hop
+	score     float64
+}
+
+// Engine runs contention-aware time slots over a fixed network and
+// workload.
+type Engine struct {
+	Net   *topo.Network
+	Pairs []topo.SDPair
+	Set   *segment.Set
+	// ConnCap is the per-pair connection cap min(m_s, m_d).
+	ConnCap []int
+
+	paths    []plannedPath
+	plan     qnet.AttemptPlan
+	recovery qnet.AttemptPlan
+	expected float64
+
+	opts   Options
+	tracer sched.Tracer
+	// bank is the optional cross-slot segment bank; nil keeps the engine
+	// memoryless (see the matching field in core.Engine).
+	bank *state.Bank
+}
+
+var _ sched.Stateful = (*Engine)(nil)
+
+// NewEngine enumerates candidate paths and fixes the contention-aware
+// plan. Like the greedy engine it solves no LP, so construction needs no
+// context/budget variant.
+func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, error) {
+	if net == nil {
+		return nil, errors.New("contend: nil network")
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("contend: no SD pairs")
+	}
+	if opts.Segment.KPaths == 0 && opts.Segment.MaxSegmentHops == 0 {
+		opts.Segment = DefaultOptions().Segment
+	}
+	if opts.PathsPerPair <= 0 {
+		opts.PathsPerPair = 5
+	}
+	if opts.RecoveryAttempts < 0 {
+		opts.RecoveryAttempts = 0
+	}
+	set, err := segment.Build(net, pairs, opts.Segment)
+	if err != nil {
+		return nil, fmt.Errorf("contend: building candidates: %w", err)
+	}
+	connCap := make([]int, len(pairs))
+	for i, sd := range pairs {
+		connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
+	}
+	e := &Engine{
+		Net:     net,
+		Pairs:   pairs,
+		Set:     set,
+		ConnCap: connCap,
+		opts:    opts,
+		tracer:  sched.OrNop(opts.Tracer),
+	}
+	e.buildPlan()
+	return e, nil
+}
+
+// attemptCost is the expected number of attempts a unit of flow costs on
+// the candidate: 1/(p·√(q_u·q_v)), the metric the LP prices columns with
+// (+Inf when the realization cannot support flow).
+func attemptCost(net *topo.Network, c *segment.Candidate) float64 {
+	qu := net.SwapProb[c.Path[0]]
+	qv := net.SwapProb[c.Path[len(c.Path)-1]]
+	den := c.Prob * math.Sqrt(qu*qv)
+	if den <= 1e-12 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// candidatePaths enumerates the per-pair candidate entanglement paths on
+// the segment graph (Yen K shortest under the static attempt-cost metric
+// with −ln q node weights, the same weights the greedy planner routes
+// with).
+func (e *Engine) candidatePaths() [][]graph.Path {
+	nodeWeight := func(u int) float64 {
+		q := e.Net.SwapProb[u]
+		if q <= 0 {
+			return infeasibleWeight
+		}
+		return -math.Log(q)
+	}
+	edgeWeight := func(id int, _ float64) float64 {
+		best := math.Inf(1)
+		for _, c := range e.Set.ByPair[e.Set.EdgePairs[id]] {
+			if cost := attemptCost(e.Net, c); cost < best {
+				best = cost
+			}
+		}
+		if math.IsInf(best, 1) {
+			return infeasibleWeight
+		}
+		return best
+	}
+	out := make([][]graph.Path, len(e.Pairs))
+	for i, sd := range e.Pairs {
+		out[i] = graph.YenKShortest(e.Set.SegGraph, sd.S, sd.D, e.opts.PathsPerPair, graph.DijkstraOptions{
+			NodeWeight: nodeWeight,
+			EdgeWeight: edgeWeight,
+		})
+	}
+	return out
+}
+
+// residual tracks the contention state during plan construction.
+type residual struct {
+	channels []int
+	memory   []int
+}
+
+// cheapestFeasible returns the lowest-attempt-cost realization of the pair
+// that fits at least one attempt in the residual resources, skipping the
+// realization `not` (used to pick a disjoint recovery realization).
+func (e *Engine) cheapestFeasible(r *residual, pk segment.PairKey, not *segment.Candidate) (*segment.Candidate, float64) {
+	var best *segment.Candidate
+	bestCost := math.Inf(1)
+	for _, c := range e.Set.ByPair[pk] {
+		if c == not {
+			continue
+		}
+		fits := r.memory[pk.U] >= 1 && r.memory[pk.V] >= 1
+		for _, id := range c.EdgeIDs {
+			if r.channels[id] < 1 {
+				fits = false
+				break
+			}
+		}
+		if !fits {
+			continue
+		}
+		if cost := attemptCost(e.Net, c); cost < bestCost {
+			best, bestCost = c, cost
+		}
+	}
+	return best, bestCost
+}
+
+// widthFor bounds the attempt count of a realization by the residual
+// channels along its route and the residual memories of its endpoints,
+// starting from the requested width.
+func widthFor(r *residual, c *segment.Candidate, pk segment.PairKey, want int) int {
+	n := want
+	for _, id := range c.EdgeIDs {
+		if r.channels[id] < n {
+			n = r.channels[id]
+		}
+	}
+	if r.memory[pk.U] < n {
+		n = r.memory[pk.U]
+	}
+	if r.memory[pk.V] < n {
+		n = r.memory[pk.V]
+	}
+	return n
+}
+
+// scorePath evaluates the expected-throughput metric of a candidate path
+// under the residual resources:
+//
+//	E(ℓ) = Π_hops (1 − (1 − p^k_uv)^{n_h}) · Π_junctions q_u
+//
+// where n_h = min(⌈1/p⌉, residual width) is the attempt budget hop h would
+// get, with each hop priced on its cheapest still-feasible realization. It
+// returns the score and the concrete hop plan (nil when any hop has no
+// feasible realization).
+func (e *Engine) scorePath(r *residual, nodes graph.Path) (float64, []hop) {
+	score := 1.0
+	hops := make([]hop, 0, len(nodes)-1)
+	// Hop reservations within one path compound, so simulate them on a
+	// scratch copy of the residual state (paths share endpoints with
+	// themselves when they revisit a node's memory).
+	scratch := &residual{
+		channels: append([]int(nil), r.channels...),
+		memory:   append([]int(nil), r.memory...),
+	}
+	for i := 0; i+1 < len(nodes); i++ {
+		pk := segment.MakePairKey(nodes[i], nodes[i+1])
+		cand, cost := e.cheapestFeasible(scratch, pk, nil)
+		if cand == nil || math.IsInf(cost, 1) {
+			return 0, nil
+		}
+		n := widthFor(scratch, cand, pk, int(math.Ceil(1/cand.Prob)))
+		if n < 1 {
+			return 0, nil
+		}
+		for _, id := range cand.EdgeIDs {
+			scratch.channels[id] -= n
+		}
+		scratch.memory[pk.U] -= n
+		scratch.memory[pk.V] -= n
+		score *= 1 - math.Pow(1-cand.Prob, float64(n))
+		hops = append(hops, hop{pair: pk, cand: cand, attempts: n})
+	}
+	for j := 1; j+1 < len(nodes); j++ {
+		score *= e.Net.SwapProb[nodes[j]]
+	}
+	return score, hops
+}
+
+// buildPlan is the contention-aware selection loop: every unsaturated
+// pair's candidate paths are re-scored against the residual resources, the
+// globally best-scoring path is accepted, its hops (primary + recovery)
+// are charged against the residuals, and the loop repeats until no
+// candidate has positive score. Ties break deterministically on (pair
+// index, candidate index).
+func (e *Engine) buildPlan() {
+	r := &residual{
+		channels: append([]int(nil), e.Net.Channels...),
+		memory:   append([]int(nil), e.Net.Memory...),
+	}
+	e.plan = make(qnet.AttemptPlan)
+	e.recovery = make(qnet.AttemptPlan)
+	cands := e.candidatePaths()
+	planned := make([]int, len(e.Pairs))
+	for {
+		bestScore := 0.0
+		bestPair, bestIdx := -1, -1
+		var bestHops []hop
+		for i := range e.Pairs {
+			if planned[i] >= e.ConnCap[i] {
+				continue
+			}
+			for j, nodes := range cands[i] {
+				score, hops := e.scorePath(r, nodes)
+				if score > bestScore {
+					bestScore, bestPair, bestIdx, bestHops = score, i, j, hops
+				}
+			}
+		}
+		if bestPair < 0 || bestScore <= 0 {
+			break
+		}
+		// Charge the accepted path's primary reservations.
+		for _, h := range bestHops {
+			for _, id := range h.cand.EdgeIDs {
+				r.channels[id] -= h.attempts
+			}
+			r.memory[h.pair.U] -= h.attempts
+			r.memory[h.pair.V] -= h.attempts
+		}
+		// Reserve recovery attempts on the next-best disjoint realization
+		// of each hop, within whatever resources remain.
+		pp := plannedPath{commodity: bestPair, nodes: cands[bestPair][bestIdx], score: bestScore}
+		for _, h := range bestHops {
+			if e.opts.RecoveryAttempts > 0 {
+				if rec, cost := e.cheapestFeasible(r, h.pair, h.cand); rec != nil && !math.IsInf(cost, 1) {
+					if n := widthFor(r, rec, h.pair, e.opts.RecoveryAttempts); n >= 1 {
+						for _, id := range rec.EdgeIDs {
+							r.channels[id] -= n
+						}
+						r.memory[h.pair.U] -= n
+						r.memory[h.pair.V] -= n
+						h.recovery, h.recAttempts = rec, n
+						e.recovery[rec] += n
+					}
+				}
+			}
+			pp.hops = append(pp.hops, h)
+			e.plan[h.cand] += h.attempts
+		}
+		e.paths = append(e.paths, pp)
+		planned[bestPair]++
+	}
+	for _, pp := range e.paths {
+		e.expected += pp.score
+	}
+}
+
+// RunSlot simulates one time slot: attempt the fixed primary plan, fire
+// reserved recovery attempts for hops whose primaries all failed, then
+// assemble the planned paths from realized segments (retrying on redundant
+// segments like the other engines).
+func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
+	tr := e.tracer
+	traced := !sched.IsNop(tr)
+	tr.SlotStart(sched.Contend)
+	res := &sched.SlotResult{
+		LPObjective:      e.expected,
+		PlannedPaths:     len(e.paths),
+		ProvisionedPaths: len(e.paths),
+		PerPair:          make([]int, len(e.Pairs)),
+	}
+
+	var fm qnet.FaultModel
+	faultsBefore := 0
+	if e.opts.Chaos.Active() {
+		e.opts.Chaos.BeginSlot()
+		faultsBefore = e.opts.Chaos.Counts().Total()
+		fm = e.opts.Chaos
+	}
+
+	// Cross-slot state: withdraw surviving carried segments and trim their
+	// endpoint pairs out of the fixed primary plan (the cached e.plan is
+	// never mutated). With no bank, plan aliases e.plan and the slot is
+	// byte-identical to the memoryless path.
+	plan := e.plan
+	var withdrawn []*qnet.Segment
+	if e.bank != nil {
+		if expired, decohered := e.bank.BeginSlot(); expired+decohered > 0 {
+			tr.Incident(sched.IncidentBankDecohered, expired+decohered)
+		}
+		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
+			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
+		}
+		plan, _ = state.TrimPlan(plan, withdrawn)
+	}
+	res.Attempts = plan.TotalAttempts() + e.recovery.TotalAttempts()
+
+	t0 := time.Now()
+	if traced {
+		for _, pp := range e.paths {
+			tr.PathPlanned(pp.commodity, len(pp.hops))
+		}
+	}
+	tr.PhaseDone(sched.PhasePlan, time.Since(t0))
+
+	t0 = time.Now()
+	if traced {
+		for _, pp := range e.paths {
+			tr.PathProvisioned(pp.commodity)
+		}
+		for _, c := range plan.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), plan[c])
+		}
+		for _, c := range e.recovery.SortedCandidates() {
+			tr.AttemptReserved(c.U(), c.V(), e.recovery[c])
+		}
+	}
+	tr.PhaseDone(sched.PhaseReserve, time.Since(t0))
+
+	t0 = time.Now()
+	var attemptObs qnet.AttemptObserver
+	if traced {
+		attemptObs = func(c *segment.Candidate, ok bool) {
+			tr.AttemptResolved(c.U(), c.V(), ok)
+		}
+	}
+	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
+	res.SegmentsCreated = len(created)
+	created, _ = qnet.ApplyDecoherence(created, fm)
+
+	// Recovery pass: count the surviving segments per endpoint pair
+	// (withdrawn carried segments count too) and fire the reserved
+	// recovery attempts of hops left with nothing, in deterministic path
+	// order. Recovery segments face the same decoherence stream.
+	avail := make(map[segment.PairKey]int)
+	for _, s := range withdrawn {
+		avail[s.Pair()]++
+	}
+	for _, s := range created {
+		avail[s.Pair()]++
+	}
+	recoveryFired := 0
+	for _, pp := range e.paths {
+		for _, h := range pp.hops {
+			if h.recovery == nil || avail[h.pair] > 0 {
+				continue
+			}
+			recoveryFired += h.recAttempts
+			recCreated := qnet.AttemptAllFaulty(qnet.AttemptPlan{h.recovery: h.recAttempts}, rng, fm, attemptObs)
+			res.SegmentsCreated += len(recCreated)
+			recCreated, _ = qnet.ApplyDecoherence(recCreated, fm)
+			for _, s := range recCreated {
+				avail[s.Pair()]++
+			}
+			created = append(created, recCreated...)
+		}
+	}
+	if recoveryFired > 0 {
+		tr.Incident(sched.IncidentRecovery, recoveryFired)
+	}
+	if fm != nil {
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+			tr.Incident(sched.IncidentFault, d)
+		}
+	}
+	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
+
+	// Stitch: withdrawn carried segments join the pool ahead of the fresh
+	// ones so the oldest photons are consumed preferentially.
+	t0 = time.Now()
+	pool := qnet.NewPool(append(withdrawn, created...))
+	swapObs := qnet.SwapObserver(tr.SwapResolved)
+	perPair := make([]int, len(e.Pairs))
+	for {
+		progress := false
+		for _, pp := range e.paths {
+			if perPair[pp.commodity] >= e.ConnCap[pp.commodity] {
+				continue
+			}
+			ok := true
+			for _, h := range pp.hops {
+				if pool.Available(h.pair) < 1 {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue
+			}
+			conn := &qnet.Connection{Pair: pp.commodity, Nodes: pp.nodes}
+			for _, h := range pp.hops {
+				conn.Segments = append(conn.Segments, pool.Take(h.pair))
+			}
+			res.Assembled++
+			progress = true
+			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			tr.ConnectionAssembled(pp.commodity, ok)
+			if ok {
+				if err := conn.Validate(); err != nil {
+					return nil, fmt.Errorf("contend: invalid connection: %w", err)
+				}
+				res.Established++
+				res.PerPair[pp.commodity]++
+				res.Connections = append(res.Connections, conn)
+				perPair[pp.commodity]++
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	// Cross-slot state: bank the slot's unconsumed leftovers for the next
+	// slot, within each node's memory budget.
+	if e.bank != nil {
+		if accepted := e.bank.Deposit(pool.Unconsumed()); accepted > 0 {
+			tr.Incident(sched.IncidentBankDeposit, accepted)
+		}
+	}
+	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
+	tr.SlotEnd(res)
+	return res, nil
+}
+
+// Algorithm identifies the scheme.
+func (e *Engine) Algorithm() sched.Algorithm { return sched.Contend }
+
+// UpperBound returns the heuristic expected established count of the fixed
+// plan (not an LP bound — the engine solves none).
+func (e *Engine) UpperBound() float64 { return e.expected }
+
+// AttachBank implements sched.Stateful: it installs the cross-slot segment
+// bank (nil detaches, restoring memoryless behavior).
+func (e *Engine) AttachBank(b *state.Bank) { e.bank = b }
+
+// Bank implements sched.Stateful.
+func (e *Engine) Bank() *state.Bank { return e.bank }
+
+// PlannedPathCount reports how many entanglement paths the contention-aware
+// selection accepted (diagnostics for tests and tools).
+func (e *Engine) PlannedPathCount() int { return len(e.paths) }
+
+// RecoveryReserved reports the total recovery attempts held in reserve per
+// slot (diagnostics for tests and tools).
+func (e *Engine) RecoveryReserved() int { return e.recovery.TotalAttempts() }

@@ -1,0 +1,242 @@
+package contend
+
+import (
+	"reflect"
+	"testing"
+
+	"see/internal/graph"
+	"see/internal/sched"
+	"see/internal/state"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+func buildInstance(t *testing.T, nodes, pairs int, seed int64) (*topo.Network, []topo.SDPair) {
+	t.Helper()
+	cfg := topo.DefaultConfig()
+	cfg.Nodes = nodes
+	return buildWith(t, cfg, pairs, seed)
+}
+
+func buildWith(t *testing.T, cfg topo.Config, pairs int, seed int64) (*topo.Network, []topo.SDPair) {
+	t.Helper()
+	net, err := topo.Generate(cfg, xrand.New(seed))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return net, topo.ChooseSDPairs(net, pairs, xrand.New(seed+1))
+}
+
+func TestRunSlotInvariants(t *testing.T) {
+	net, pairs := topo.Motivation()
+	eng, err := NewEngine(net, pairs, DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if got := eng.Algorithm(); got != sched.Contend {
+		t.Errorf("Algorithm() = %v, want Contend", got)
+	}
+	if eng.UpperBound() <= 0 {
+		t.Errorf("UpperBound() = %v, want > 0", eng.UpperBound())
+	}
+	rng := xrand.New(7)
+	total := 0
+	for s := 0; s < 30; s++ {
+		res, err := eng.RunSlot(rng)
+		if err != nil {
+			t.Fatalf("RunSlot: %v", err)
+		}
+		if res.PlannedPaths == 0 || res.Attempts == 0 {
+			t.Errorf("slot %d: planned %d paths, %d attempts; want both > 0",
+				s, res.PlannedPaths, res.Attempts)
+		}
+		if res.SegmentsCreated > res.Attempts {
+			t.Errorf("created %d > attempts %d", res.SegmentsCreated, res.Attempts)
+		}
+		if res.Established > res.Assembled {
+			t.Errorf("established %d > assembled %d", res.Established, res.Assembled)
+		}
+		sum := 0
+		for _, c := range res.PerPair {
+			sum += c
+		}
+		if sum != res.Established || len(res.Connections) != res.Established {
+			t.Errorf("PerPair sum %d / %d connections != Established %d",
+				sum, len(res.Connections), res.Established)
+		}
+		for _, c := range res.Connections {
+			if err := c.Validate(); err != nil {
+				t.Errorf("slot %d: invalid connection: %v", s, err)
+			}
+		}
+		total += res.Established
+	}
+	if total == 0 {
+		t.Error("no connections established in 30 slots")
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	net, pairs := buildInstance(t, 40, 8, 11)
+	run := func() []sched.SlotResult {
+		eng, err := NewEngine(net, pairs, DefaultOptions())
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		rng := xrand.New(42)
+		var out []sched.SlotResult
+		for s := 0; s < 10; s++ {
+			res, err := eng.RunSlot(rng)
+			if err != nil {
+				t.Fatalf("RunSlot: %v", err)
+			}
+			out = append(out, *res)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different runs")
+	}
+}
+
+// TestPlanRespectsResources recounts the fixed plan — primary and recovery
+// reservations together — against the network's channel and memory
+// capacities: the contention accounting must never overshoot c_uv on any
+// link or m_u at any node.
+func TestPlanRespectsResources(t *testing.T) {
+	net, pairs := buildInstance(t, 50, 10, 3)
+	eng, err := NewEngine(net, pairs, DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	channels := make([]int, net.NumLinks())
+	memory := make([]int, net.NumNodes())
+	for c, n := range eng.plan {
+		for _, id := range c.EdgeIDs {
+			channels[id] += n
+		}
+		memory[c.U()] += n
+		memory[c.V()] += n
+	}
+	for c, n := range eng.recovery {
+		for _, id := range c.EdgeIDs {
+			channels[id] += n
+		}
+		memory[c.U()] += n
+		memory[c.V()] += n
+	}
+	for id, used := range channels {
+		if used > net.Channels[id] {
+			t.Errorf("link %d: %d attempts reserved, capacity %d", id, used, net.Channels[id])
+		}
+	}
+	for u, used := range memory {
+		if used > net.Memory[u] {
+			t.Errorf("node %d: %d memory units reserved, capacity %d", u, used, net.Memory[u])
+		}
+	}
+}
+
+// diamond builds a 4-node fixture where the pair (0, 3) has two
+// edge-disjoint 2-hop realizations (via node 1 and via node 2), so a
+// recovery reservation is always available disjointly from the primary.
+// Link lengths put each realization at roughly 30% success so primary
+// attempts fail whole slots often enough for recovery to fire.
+func diamond() (*topo.Network, []topo.SDPair) {
+	const linkLen = 3000.0 // αl = 0.6 per link → p(2 hops) = e^{−1.2} ≈ 0.30
+	net := &topo.Network{
+		G:        graph.New(4),
+		Pos:      make([][2]float64, 4),
+		Memory:   []int{10, 10, 10, 10},
+		SwapProb: []float64{0.9, 0.9, 0.9, 0.9},
+	}
+	for _, l := range [][2]int{{0, 1}, {1, 3}, {0, 2}, {2, 3}} {
+		net.G.AddEdge(l[0], l[1], linkLen)
+		net.LinkLen = append(net.LinkLen, linkLen)
+		net.Channels = append(net.Channels, 8)
+	}
+	net.SetProber(topo.ExpProber{Alpha: 2e-4, Delta: 0})
+	return net, []topo.SDPair{{S: 0, D: 3}}
+}
+
+// TestRecoveryFires drives enough slots that some hop's primary attempts
+// all fail while its reserved recovery realization succeeds; the engine
+// must report the activations through IncidentRecovery.
+func TestRecoveryFires(t *testing.T) {
+	net, pairs := diamond()
+	tr := sched.NewCountingTracer()
+	opts := DefaultOptions()
+	opts.Tracer = tr
+	eng, err := NewEngine(net, pairs, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if eng.RecoveryReserved() == 0 {
+		t.Fatal("no recovery attempts reserved on the diamond fixture")
+	}
+	rng := xrand.New(9)
+	for s := 0; s < 40; s++ {
+		if _, err := eng.RunSlot(rng); err != nil {
+			t.Fatalf("RunSlot: %v", err)
+		}
+	}
+	if got := tr.Counts().IncidentCount(sched.IncidentRecovery); got == 0 {
+		t.Error("recovery attempts never fired in 40 slots")
+	}
+}
+
+// TestRecoveryDisabled checks RecoveryAttempts = 0 reserves nothing and
+// still runs.
+func TestRecoveryDisabled(t *testing.T) {
+	net, pairs := buildInstance(t, 40, 8, 6)
+	opts := DefaultOptions()
+	opts.RecoveryAttempts = -1 // normalized to 0
+	eng, err := NewEngine(net, pairs, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	if eng.RecoveryReserved() != 0 {
+		t.Errorf("RecoveryReserved() = %d with recovery disabled", eng.RecoveryReserved())
+	}
+	if _, err := eng.RunSlot(xrand.New(1)); err != nil {
+		t.Fatalf("RunSlot: %v", err)
+	}
+}
+
+// TestCarryOverConservation attaches a bank and checks the memory
+// accounting invariant after every slot, plus that carried segments
+// reduce the slot's primary attempt demand.
+func TestCarryOverConservation(t *testing.T) {
+	net, pairs := buildInstance(t, 40, 8, 8)
+	eng, err := NewEngine(net, pairs, DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	bank := state.NewBank(net, state.Policy{CarrySlots: 2})
+	eng.AttachBank(bank)
+	if eng.Bank() != bank {
+		t.Fatal("Bank() did not return the attached bank")
+	}
+	rng := xrand.New(3)
+	baseline := eng.plan.TotalAttempts() + eng.recovery.TotalAttempts()
+	trimmed := false
+	for s := 0; s < 20; s++ {
+		res, err := eng.RunSlot(rng)
+		if err != nil {
+			t.Fatalf("RunSlot: %v", err)
+		}
+		if err := bank.CheckConservation(); err != nil {
+			t.Fatalf("slot %d: %v", s, err)
+		}
+		if res.Attempts < baseline {
+			trimmed = true
+		}
+	}
+	if bank.Stats().Deposited == 0 {
+		t.Error("bank never accepted a deposit in 20 slots")
+	}
+	if !trimmed {
+		t.Error("carried segments never trimmed the attempt plan")
+	}
+}

@@ -1,6 +1,7 @@
 // Package engines is the single construction point for the slot-pipeline
 // engines: it maps a sched.Algorithm to the package implementing it
-// (internal/core, internal/reps, internal/e2e, internal/greedy) and
+// (internal/core, internal/reps, internal/e2e, internal/greedy,
+// internal/contend) and
 // translates the shared Config into each engine's options. Both the public
 // API (package see) and the experiment harness build engines here, so no
 // algorithm type-switch exists anywhere else.
@@ -17,9 +18,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"time"
 
 	"see/internal/chaos"
+	"see/internal/contend"
 	"see/internal/core"
 	"see/internal/e2e"
 	"see/internal/greedy"
@@ -65,10 +68,24 @@ type Builder func(ctx context.Context, net *topo.Network, pairs []topo.SDPair, c
 
 // builders is the algorithm registry.
 var builders = map[sched.Algorithm]Builder{
-	sched.SEE:    newSEE,
-	sched.REPS:   newREPS,
-	sched.E2E:    newE2E,
-	sched.Greedy: newGreedy,
+	sched.SEE:     newSEE,
+	sched.REPS:    newREPS,
+	sched.E2E:     newE2E,
+	sched.Greedy:  newGreedy,
+	sched.Contend: newContend,
+}
+
+// List returns every registered algorithm in ascending order. The
+// cross-engine invariant harness (internal/sched/schedtest) iterates this
+// list so a newly registered engine is automatically subjected to the
+// shared pipeline invariants.
+func List() []sched.Algorithm {
+	out := make([]sched.Algorithm, 0, len(builders))
+	for alg := range builders {
+		out = append(out, alg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // New builds the engine for the given algorithm.
@@ -118,6 +135,23 @@ func newREPS(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Co
 
 func newE2E(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
 	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos})
+}
+
+func newContend(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	o := contend.DefaultOptions()
+	if cfg.KPaths > 0 {
+		o.Segment.KPaths = cfg.KPaths
+		o.PathsPerPair = cfg.KPaths
+	}
+	if cfg.MaxSegmentHops > 0 {
+		o.Segment.MaxSegmentHops = cfg.MaxSegmentHops
+	}
+	if cfg.MinSegmentProb > 0 {
+		o.Segment.MinProb = cfg.MinSegmentProb
+	}
+	o.Tracer = cfg.Tracer
+	o.Chaos = cfg.Chaos
+	return contend.NewEngine(net, pairs, o)
 }
 
 func newGreedy(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {

@@ -92,6 +92,11 @@ type Params struct {
 	// DecoherenceSlots is the bank's age window (default 1); see
 	// state.Policy.CarrySlots.
 	DecoherenceSlots int
+	// Algorithms selects the schemes each trial runs and compares. nil
+	// means the paper's trio (SEE, REPS, E2E); extend it with sched.Greedy
+	// or sched.Contend to sweep the repo-grown baselines on the same
+	// instances.
+	Algorithms []Algorithm
 }
 
 // DefaultParams returns the paper's default setting.
@@ -109,6 +114,15 @@ func DefaultParams() Params {
 		KPaths:         5,
 		MaxSegmentHops: 10,
 	}
+}
+
+// algorithms returns the schemes this run compares (the paper trio when
+// Params.Algorithms is nil).
+func (p Params) algorithms() []Algorithm {
+	if len(p.Algorithms) > 0 {
+		return p.Algorithms
+	}
+	return Algorithms
 }
 
 func (p Params) topoConfig() topo.Config {
@@ -188,14 +202,15 @@ func RunPoint(p Params) (map[Algorithm]PointResult, error) {
 	close(trialCh)
 	wg.Wait()
 
-	samples := make(map[Algorithm][]float64, len(Algorithms))
-	jains := make(map[Algorithm][]float64, len(Algorithms))
-	firstTrialPerPair := make(map[Algorithm][]float64, len(Algorithms))
+	algs := p.algorithms()
+	samples := make(map[Algorithm][]float64, len(algs))
+	jains := make(map[Algorithm][]float64, len(algs))
+	firstTrialPerPair := make(map[Algorithm][]float64, len(algs))
 	for trial, oc := range outcomes {
 		if oc.err != nil {
 			return nil, fmt.Errorf("experiment: trial %d: %w", trial, oc.err)
 		}
-		for _, alg := range Algorithms {
+		for _, alg := range algs {
 			samples[alg] = append(samples[alg], oc.established[alg])
 			jains[alg] = append(jains[alg], metrics.JainIndex(oc.perPair[alg]))
 			if trial == 0 {
@@ -204,8 +219,8 @@ func RunPoint(p Params) (map[Algorithm]PointResult, error) {
 		}
 	}
 
-	out := make(map[Algorithm]PointResult, len(Algorithms))
-	for _, alg := range Algorithms {
+	out := make(map[Algorithm]PointResult, len(algs))
+	for _, alg := range algs {
 		out[alg] = PointResult{
 			Throughput: metrics.Summarize(samples[alg]),
 			PerPairCDF: metrics.NewCDF(firstTrialPerPair[alg]),
@@ -226,9 +241,10 @@ func buildEngine(alg Algorithm, net *topo.Network, pairs []topo.SDPair, cfg engi
 
 // runTrial draws one instance and runs every algorithm's slot on it.
 func (p Params) runTrial(trial int) trialOutcome {
+	algs := p.algorithms()
 	oc := trialOutcome{
-		established: make(map[Algorithm]float64, len(Algorithms)),
-		perPair:     make(map[Algorithm][]float64, len(Algorithms)),
+		established: make(map[Algorithm]float64, len(algs)),
+		perPair:     make(map[Algorithm][]float64, len(algs)),
 	}
 	rng := xrand.ForTrial(p.BaseSeed, trial)
 	topoRng := xrand.Split(rng)
@@ -239,7 +255,7 @@ func (p Params) runTrial(trial int) trialOutcome {
 		return oc
 	}
 	pairs := topo.ChooseSDPairs(net, p.SDPairs, pairRng)
-	for _, alg := range Algorithms {
+	for _, alg := range algs {
 		slotRng := xrand.Split(rng)
 		// Each engine needs its own injector: injectors track per-slot
 		// state, so sharing one across engines (or trials) would couple

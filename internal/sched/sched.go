@@ -45,11 +45,18 @@ const (
 	// It doubles as the degradation target when an LP solve blows its
 	// slot budget (see internal/engines.NewResilient).
 	Greedy
+	// Contend is the contention-aware routing baseline in the Q-CAST
+	// spirit (Shi & Qian, SIGCOMM 2020): per-pair candidate paths are
+	// scored by an expected-throughput metric and selected best-first
+	// with explicit contention accounting against residual channels and
+	// memory, plus recovery-path fallback in the physical phase (see
+	// internal/contend).
+	Contend
 )
 
-// Algorithms lists the paper's schemes in display order. Greedy is a
-// repo-grown baseline, selectable by name but not part of the paper's
-// evaluation trio.
+// Algorithms lists the paper's schemes in display order. Greedy and
+// Contend are repo-grown baselines, selectable by name but not part of
+// the paper's evaluation trio.
 var Algorithms = []Algorithm{SEE, REPS, E2E}
 
 // String implements fmt.Stringer.
@@ -63,13 +70,15 @@ func (a Algorithm) String() string {
 		return "E2E"
 	case Greedy:
 		return "Greedy"
+	case Contend:
+		return "Contend"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
 // ParseAlgorithm maps a case-insensitive scheme name ("see", "reps",
-// "e2e", "greedy") to its Algorithm.
+// "e2e", "greedy", "contend") to its Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
 	case "see":
@@ -80,8 +89,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return E2E, nil
 	case "greedy":
 		return Greedy, nil
+	case "contend":
+		return Contend, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e or greedy)", s)
+		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e, greedy or contend)", s)
 	}
 }
 

@@ -77,10 +77,14 @@ const (
 	// IncidentBankDecohered counts banked segments lost at a slot boundary
 	// to the age window or the stochastic decoherence hazard.
 	IncidentBankDecohered
+	// IncidentRecovery counts recovery-path creation attempts the
+	// contention-aware engine fired after a primary segment attempt
+	// failed in the physical phase (see internal/contend).
+	IncidentRecovery
 )
 
 // NumIncidents is the number of incident kinds.
-const NumIncidents = 8
+const NumIncidents = 9
 
 // String implements fmt.Stringer.
 func (i Incident) String() string {
@@ -101,6 +105,8 @@ func (i Incident) String() string {
 		return "bank_deposit"
 	case IncidentBankDecohered:
 		return "bank_decohere"
+	case IncidentRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Incident(%d)", int(i))
 	}

@@ -40,6 +40,7 @@ package state
 
 import (
 	"fmt"
+	"sort"
 
 	"see/internal/chaos"
 	"see/internal/qnet"
@@ -213,7 +214,9 @@ func (b *Bank) BeginSlot() (expired, decohered int) {
 	return expired, decohered
 }
 
-// WithdrawAll removes every banked segment and returns them, oldest first,
+// WithdrawAll removes every banked segment and returns them, oldest first
+// (by creation slot, deposit sequence breaking ties — a re-deposited old
+// segment outranks younger ones even though it re-entered the bank later),
 // releasing their banked memory. The engine adds them to the slot's
 // realized pool (and may shrink its attempt plan with TrimPlan); whatever
 // the slot leaves unconsumed can be re-deposited with its age preserved.
@@ -221,6 +224,12 @@ func (b *Bank) WithdrawAll() []*qnet.Segment {
 	if len(b.entries) == 0 {
 		return nil
 	}
+	sort.SliceStable(b.entries, func(i, j int) bool {
+		if b.entries[i].birth != b.entries[j].birth {
+			return b.entries[i].birth < b.entries[j].birth
+		}
+		return b.entries[i].seq < b.entries[j].seq
+	})
 	out := make([]*qnet.Segment, len(b.entries))
 	b.withdrawnBirth = make(map[*qnet.Segment]int, len(b.entries))
 	for i, e := range b.entries {

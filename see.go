@@ -48,6 +48,11 @@ const (
 	// planning with first-come-first-served reservation. It doubles as the
 	// degradation target when an LP scheduler blows its SlotBudget.
 	Greedy = sched.Greedy
+	// Contend is the repo-grown contention-aware baseline in the Q-CAST
+	// spirit: candidate paths scored by expected throughput, selected
+	// best-first under residual channel/memory accounting, with
+	// recovery-path fallback in the physical phase (internal/contend).
+	Contend = sched.Contend
 )
 
 // NetworkConfig mirrors the evaluation parameters of §IV-A.
@@ -323,6 +328,10 @@ const (
 	IncidentBankWithdraw  = sched.IncidentBankWithdraw
 	IncidentBankDeposit   = sched.IncidentBankDeposit
 	IncidentBankDecohered = sched.IncidentBankDecohered
+	// IncidentRecovery counts recovery-path creation attempts the
+	// contention-aware engine fired after a hop's primary segment attempts
+	// all failed (see internal/contend).
+	IncidentRecovery = sched.IncidentRecovery
 )
 
 // FaultPlan is a deterministic fault schedule for a scheduler: node crash
