@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke docs-check cover cover-update fuzz-smoke figures
+.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke serve-smoke docs-check cover cover-update fuzz-smoke figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -26,9 +26,10 @@ race:
 # concurrently), the per-package coverage floor, a short fuzz pass over
 # every committed fuzz target, a single-iteration pass over the substrate
 # benchmarks so perf-path regressions that only bench code exercises are
-# caught early, and a chaos smoke that drives fault injection and the
-# degradation ladder end-to-end through the CLI.
-verify: vet docs-check build race cover fuzz-smoke bench-smoke chaos-smoke
+# caught early, a chaos smoke that drives fault injection and the
+# degradation ladder end-to-end through the CLI, and a serve smoke that
+# kills and resumes a checkpointing service-mode run.
+verify: vet docs-check build race cover fuzz-smoke bench-smoke chaos-smoke serve-smoke
 
 # cover enforces the committed per-package statement-coverage floors in
 # COVERAGE.txt (cmd/covercheck); cover-update re-derives the floors after
@@ -63,6 +64,42 @@ chaos-smoke:
 		-faults 'seed=7;node=3@1-;loss=0.05;decohere=0.01' -slot-budget 5s
 	$(GO) run ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 2 -alg see \
 		-slot-budget 1ns -trace-jsonl /tmp/see-chaos-smoke.jsonl
+
+# serve-smoke is the kill/resume invariant end-to-end through real
+# processes: run service mode uninterrupted, run it again with periodic
+# checkpoints and a deterministic crash (-die-at, exit 3), resume from
+# the surviving checkpoint, and require the concatenated slot lines and
+# the final summary to be byte-identical to the uninterrupted run.
+SERVE_SMOKE_ARGS = -serve -alg greedy,contend -nodes 40 -pairs 4 -slots 20 -seed 5 \
+	-arrivals 'bursty;rate=2;burst-rate=8;switch=0.2;users=40;max-active=30'
+serve-smoke:
+	@rm -rf /tmp/see-serve-smoke && mkdir -p /tmp/see-serve-smoke/ckpt
+	$(GO) build -o /tmp/see-serve-smoke/seesim ./cmd/seesim
+	/tmp/see-serve-smoke/seesim $(SERVE_SMOKE_ARGS) > /tmp/see-serve-smoke/full.out
+	@# go run would collapse the exit code to 1, so run the built binary:
+	@# the crash must exit with the -die-at code 3, not a generic failure.
+	/tmp/see-serve-smoke/seesim $(SERVE_SMOKE_ARGS) \
+		-ckpt-dir /tmp/see-serve-smoke/ckpt -ckpt-every 7 -die-at 11 \
+		> /tmp/see-serve-smoke/crash.out; \
+		code=$$?; if [ $$code -ne 3 ]; then \
+		echo "serve-smoke: crash run exited $$code, want 3"; exit 1; fi
+	/tmp/see-serve-smoke/seesim $(SERVE_SMOKE_ARGS) \
+		-ckpt-dir /tmp/see-serve-smoke/ckpt -ckpt-every 7 -resume \
+		> /tmp/see-serve-smoke/resume.out
+	@grep '^slot' /tmp/see-serve-smoke/full.out > /tmp/see-serve-smoke/full.slots
+	@# Checkpoints land after slots 6 and 13; dying after slot 11 leaves
+	@# the slot-7 one, so Greedy resumes at slot 7 and Contend (which the
+	@# crash run never reached) starts from slot 0. Splicing the crashed
+	@# prefix onto the resumed lines must reproduce the full run exactly.
+	@{ grep '^slot Greedy' /tmp/see-serve-smoke/crash.out | head -n 7; \
+		grep '^slot Greedy' /tmp/see-serve-smoke/resume.out; \
+		grep '^slot Contend' /tmp/see-serve-smoke/resume.out; } \
+		> /tmp/see-serve-smoke/resumed.slots
+	diff /tmp/see-serve-smoke/full.slots /tmp/see-serve-smoke/resumed.slots
+	@grep -A4 'service summary' /tmp/see-serve-smoke/full.out > /tmp/see-serve-smoke/full.sum
+	@grep -A4 'service summary' /tmp/see-serve-smoke/resume.out > /tmp/see-serve-smoke/resume.sum
+	diff /tmp/see-serve-smoke/full.sum /tmp/see-serve-smoke/resume.sum
+	@echo "serve-smoke: kill/resume byte-identical"
 
 # bench records the run in BENCH_PR2.json next to the committed pre-change
 # baseline (BenchmarkColumnGeneration at commit 51e778b, serial kernel:

@@ -28,7 +28,10 @@ func main() {
 // run is main with its environment injected: it parses args, runs the
 // simulation and writes reports to stdout and diagnostics to stderr,
 // returning the process exit code. The golden-file tests drive it directly.
-func run(args []string, stdout, stderr io.Writer) int {
+// The code is a named return so deferred cleanup (the JSONL tracer close,
+// whose flush can be the first point a disk-full error surfaces) can fail
+// the process instead of only logging.
+func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("seesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -51,6 +54,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		jsonl    = fs.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
 		carry    = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
 		decohere = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
+
+		serveMode = fs.Bool("serve", false, "service mode: run one long-lived instance where an arrival process generates per-user requests with QoS classes and deadlines (-trials is ignored)")
+		arrivals  = fs.String("arrivals", "poisson;rate=2", "service-mode arrival spec, e.g. \"poisson;rate=3;users=200;mix=0.2/0.3/0.5;deadline=4/8/16;max-active=64\"")
+		ckptDir   = fs.String("ckpt-dir", "", "service mode: write per-scheduler checkpoints (plus JSON debug dumps) to this directory")
+		ckptEvery = fs.Int("ckpt-every", 100, "service mode: with -ckpt-dir, checkpoint every N slots (a final checkpoint is always written)")
+		resume    = fs.Bool("resume", false, "service mode: resume from the checkpoints in -ckpt-dir and run to -slots")
+		dieAt     = fs.Int("die-at", -1, "service mode: exit abruptly (code 3) after this slot, skipping the final checkpoint — crash simulation for resume tests (-1 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -97,10 +107,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		jsonlTracer = see.NewJSONLTracer(f)
 		defer func() {
+			// A buffered trace stream can first surface write errors at
+			// the final flush; a silently truncated trace must not exit 0.
 			if err := jsonlTracer.Close(); err != nil {
 				fmt.Fprintf(stderr, "trace-jsonl: %v\n", err)
+				if code == 0 {
+					code = 1
+				}
 			}
 		}()
+	}
+
+	if *serveMode {
+		return runServe(serveParams{
+			algs: algs, cfg: cfg, pairs: *pairs, topoName: *topoName,
+			pattern: pattern, traffic: *traffic, slots: *slots, seed: *seed,
+			workers: *workers, plan: plan, budget: *budget, carry: *carry,
+			decohere: *decohere, trace: *trace, jsonl: jsonlTracer,
+			arrivals: *arrivals, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
+			resume: *resume, dieAt: *dieAt,
+		}, stdout, stderr)
 	}
 
 	totals := make(map[see.Algorithm]float64, len(algs))

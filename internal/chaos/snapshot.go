@@ -1,0 +1,77 @@
+package chaos
+
+import "errors"
+
+// InjectorState is the serializable phase of an Injector: the slot clock and
+// the lifetime fault tallies. The down sets and the decoherence sequence are
+// not stored — both are recomputed (the former by Restore, the latter by the
+// next BeginSlot), because checkpoints are taken only at slot boundaries.
+// The plan itself is configuration, not state: a restored run rebuilds the
+// injector from the same FaultPlan and then applies the saved phase.
+type InjectorState struct {
+	Slot   int    `json:"slot"`
+	Counts Counts `json:"counts"`
+}
+
+// State snapshots the injector's phase. It returns nil for an inert (nil or
+// zero-plan) injector, preserving the discipline that an inert injector is
+// indistinguishable from no injector at all — including in checkpoints.
+func (in *Injector) State() *InjectorState {
+	if !in.Active() {
+		return nil
+	}
+	return &InjectorState{Slot: in.slot, Counts: in.counts}
+}
+
+// Restore rewinds the injector to a snapshotted phase: the slot clock and
+// counts are set and the down sets recomputed for that slot, without
+// re-incrementing the outage counters (the original BeginSlot already
+// counted them). Restore(nil) resets the injector to its pre-first-slot
+// state; restoring a non-nil state into an inert injector is a
+// configuration mismatch and errors.
+func (in *Injector) Restore(st *InjectorState) error {
+	if !in.Active() {
+		if st == nil {
+			return nil
+		}
+		return errors.New("chaos: cannot restore fault state into an inert injector (fault plan mismatch)")
+	}
+	if st == nil {
+		in.slot = -1
+		in.counts = Counts{}
+	} else {
+		in.slot = st.Slot
+		in.counts = st.Counts
+	}
+	in.decoSeq = 0
+	in.recomputeDown()
+	return nil
+}
+
+// recomputeDown rebuilds the down sets for the current slot. Unlike
+// BeginSlot it leaves the outage counters untouched — it reconstructs the
+// view a past BeginSlot already accounted for.
+func (in *Injector) recomputeDown() {
+	for i := range in.downNode {
+		in.downNode[i] = false
+	}
+	for i := range in.downLink {
+		in.downLink[i] = false
+	}
+	if in.slot < 0 {
+		return
+	}
+	for _, w := range in.plan.NodeOutages {
+		if w.Covers(in.slot) && !in.downNode[w.ID] {
+			in.downNode[w.ID] = true
+			for _, id := range in.net.IncidentLinks(w.ID) {
+				in.downLink[id] = true
+			}
+		}
+	}
+	for _, w := range in.plan.LinkOutages {
+		if w.Covers(in.slot) {
+			in.downLink[w.ID] = true
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package ckpt is the checkpoint/resume layer of the pipeline: a versioned,
+// length-prefixed binary container (plus a JSON debug dump) holding the full
+// serializable state of a run — engine state (bank contents, chaos phase,
+// degradation ladder), rng cursors, tracer offsets and the service layer's
+// arrival/queue state — so a killed server resumes byte-identical for its
+// remaining slots.
+//
+// The package splits into three levels:
+//
+//   - Encoder/Decoder: hand-rolled varint primitives with latched errors,
+//     the wire vocabulary every section payload is written in.
+//   - Snapshot/Write/Read: the on-disk container — magic, format version,
+//     named length-prefixed sections, CRC32 trailer, atomic replacement.
+//   - EngineState/Cursor codecs: binary encodings of the sched-layer state
+//     types, shared by every section that embeds them.
+//
+// Sections are named so readers skip what they do not understand and
+// writers can add sections without a format-version bump; the version
+// covers the container framing and the codecs of the known sections.
+package ckpt
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Encoder appends primitive values to a growing buffer. The zero value is
+// ready to use. Integers use varint encoding; floats are fixed 8-byte
+// little-endian IEEE 754 so every bit pattern round-trips exactly.
+type Encoder struct {
+	buf []byte
+}
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Len returns the number of encoded bytes so far.
+func (e *Encoder) Len() int { return len(e.buf) }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(v uint64) {
+	e.buf = binary.AppendUvarint(e.buf, v)
+}
+
+// Varint appends a signed (zig-zag) varint.
+func (e *Encoder) Varint(v int64) {
+	e.buf = binary.AppendVarint(e.buf, v)
+}
+
+// Int appends an int as a signed varint.
+func (e *Encoder) Int(v int) { e.Varint(int64(v)) }
+
+// Bool appends a bool as one byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.buf = append(e.buf, 1)
+	} else {
+		e.buf = append(e.buf, 0)
+	}
+}
+
+// Float64 appends the exact bit pattern of a float64 (8 bytes, little
+// endian).
+func (e *Encoder) Float64(v float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(v))
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Blob appends a length-prefixed byte slice.
+func (e *Encoder) Blob(b []byte) {
+	e.Uvarint(uint64(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// Ints appends a length-prefixed int slice.
+func (e *Encoder) Ints(v []int) {
+	e.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		e.Int(x)
+	}
+}
+
+// Decoder reads values written by Encoder, in the same order. The first
+// malformed read latches an error; every later read returns zero values, so
+// callers can decode a whole structure and check Err once.
+type Decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDecoder wraps an encoded buffer.
+func NewDecoder(buf []byte) *Decoder { return &Decoder{buf: buf} }
+
+// Err returns the latched decode error, if any.
+func (d *Decoder) Err() error { return d.err }
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// Finish asserts the buffer was consumed exactly and returns the latched
+// error, if any. Trailing bytes mean the payload was written by a different
+// codec than the one reading it.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.buf) {
+		return fmt.Errorf("ckpt: %d trailing bytes after decode", len(d.buf)-d.off)
+	}
+	return nil
+}
+
+func (d *Decoder) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("ckpt: truncated or malformed %s at offset %d", what, d.off)
+	}
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("uvarint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Varint reads a signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.off += n
+	return v
+}
+
+// Int reads an int written by Encoder.Int.
+func (d *Decoder) Int() int { return int(d.Varint()) }
+
+// Bool reads a bool.
+func (d *Decoder) Bool() bool {
+	if d.err != nil {
+		return false
+	}
+	if d.off >= len(d.buf) {
+		d.fail("bool")
+		return false
+	}
+	b := d.buf[d.off]
+	d.off++
+	if b > 1 {
+		d.fail("bool")
+		return false
+	}
+	return b == 1
+}
+
+// Float64 reads an exact float64 bit pattern.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.buf) {
+		d.fail("float64")
+		return 0
+	}
+	v := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.off:]))
+	d.off += 8
+	return v
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	return string(d.Blob())
+}
+
+// Blob reads a length-prefixed byte slice (a copy, safe to retain).
+func (d *Decoder) Blob() []byte {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("blob")
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, d.buf[d.off:])
+	d.off += int(n)
+	return out
+}
+
+// Ints reads a length-prefixed int slice.
+func (d *Decoder) Ints() []int {
+	n := d.Uvarint()
+	if d.err != nil {
+		return nil
+	}
+	// Each int costs at least one byte, so a count beyond the remaining
+	// bytes is corruption, not a huge allocation request.
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail("int slice")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = d.Int()
+	}
+	return out
+}
+
+// errCorrupt is the sentinel wrapped by container-level validation errors.
+var errCorrupt = errors.New("ckpt: corrupt checkpoint")
+
+// IsCorrupt reports whether an error came from container validation (bad
+// magic, version, framing or checksum) rather than I/O.
+func IsCorrupt(err error) bool { return errors.Is(err, errCorrupt) }

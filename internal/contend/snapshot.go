@@ -1,0 +1,42 @@
+package contend
+
+import (
+	"fmt"
+
+	"see/internal/chaos"
+	"see/internal/sched"
+	"see/internal/state"
+)
+
+var _ sched.Checkpointable = (*Engine)(nil)
+
+// EngineState implements sched.Checkpointable: the engine's only cross-slot
+// state is the chaos injector's phase and the segment bank's contents (the
+// provisioning plan is deterministic from construction).
+func (e *Engine) EngineState() (*sched.EngineState, error) {
+	return &sched.EngineState{
+		Algorithm: e.Algorithm(),
+		Chaos:     e.opts.Chaos.State(),
+		Bank:      e.bank.State(),
+	}, nil
+}
+
+// RestoreEngineState implements sched.Checkpointable, re-linking restored
+// banked segments to this engine's candidate catalogue.
+func (e *Engine) RestoreEngineState(st *sched.EngineState) error {
+	if err := sched.CheckRestoreAlgorithm(e.Algorithm(), st); err != nil {
+		return err
+	}
+	var chaosSt *chaos.InjectorState
+	var bankSt *state.BankState
+	if st != nil {
+		chaosSt, bankSt = st.Chaos, st.Bank
+	}
+	if err := e.opts.Chaos.Restore(chaosSt); err != nil {
+		return fmt.Errorf("contend: %w", err)
+	}
+	if err := e.bank.Restore(bankSt, e.Set.CandidateFor); err != nil {
+		return fmt.Errorf("contend: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package e2e
+
+import "see/internal/sched"
+
+var _ sched.Checkpointable = (*Engine)(nil)
+
+// EngineState implements sched.Checkpointable by delegating to the
+// restricted SEE engine, which already reports sched.E2E as its scheme.
+func (e *Engine) EngineState() (*sched.EngineState, error) {
+	return e.inner.EngineState()
+}
+
+// RestoreEngineState implements sched.Checkpointable.
+func (e *Engine) RestoreEngineState(st *sched.EngineState) error {
+	return e.inner.RestoreEngineState(st)
+}

@@ -116,6 +116,50 @@ func DefaultParams() Params {
 	}
 }
 
+// Validate checks the parameter set before any trial spends work. It is
+// called by RunPoint (and therefore by every figure sweep), so a typo'd
+// configuration — a negative slot count, an unregistered algorithm — fails
+// fast with a named field instead of panicking mid-sweep or silently
+// producing a degenerate run.
+func (p Params) Validate() error {
+	switch {
+	case p.Trials <= 0:
+		return fmt.Errorf("experiment: Trials must be positive, got %d", p.Trials)
+	case p.Slots < 0:
+		return fmt.Errorf("experiment: negative Slots %d", p.Slots)
+	case p.Workers < 0:
+		return fmt.Errorf("experiment: negative Workers %d (0 selects GOMAXPROCS)", p.Workers)
+	case p.Nodes <= 0:
+		return fmt.Errorf("experiment: Nodes must be positive, got %d", p.Nodes)
+	case p.SDPairs < 0:
+		return fmt.Errorf("experiment: negative SDPairs %d", p.SDPairs)
+	case p.Channels <= 0:
+		return fmt.Errorf("experiment: Channels must be positive, got %d", p.Channels)
+	case p.Memory <= 0:
+		return fmt.Errorf("experiment: Memory must be positive, got %d", p.Memory)
+	case p.SwapProb < 0 || p.SwapProb > 1:
+		return fmt.Errorf("experiment: SwapProb %v outside [0,1]", p.SwapProb)
+	case p.Alpha < 0:
+		return fmt.Errorf("experiment: negative Alpha %v", p.Alpha)
+	case p.Delta < 0:
+		return fmt.Errorf("experiment: negative Delta %v", p.Delta)
+	case p.KPaths < 0:
+		return fmt.Errorf("experiment: negative KPaths %d", p.KPaths)
+	case p.MaxSegmentHops < 0:
+		return fmt.Errorf("experiment: negative MaxSegmentHops %d", p.MaxSegmentHops)
+	case p.SlotBudget < 0:
+		return fmt.Errorf("experiment: negative SlotBudget %v", p.SlotBudget)
+	case p.DecoherenceSlots < 0:
+		return fmt.Errorf("experiment: negative DecoherenceSlots %d", p.DecoherenceSlots)
+	}
+	for _, alg := range p.Algorithms {
+		if !engines.Registered(alg) {
+			return fmt.Errorf("experiment: unknown algorithm %v", alg)
+		}
+	}
+	return nil
+}
+
 // algorithms returns the schemes this run compares (the paper trio when
 // Params.Algorithms is nil).
 func (p Params) algorithms() []Algorithm {
@@ -173,8 +217,8 @@ type trialOutcome struct {
 // trial derives all of its randomness from its own seed, so the output is
 // byte-identical to a serial run.
 func RunPoint(p Params) (map[Algorithm]PointResult, error) {
-	if p.Trials <= 0 {
-		return nil, fmt.Errorf("experiment: Trials must be positive, got %d", p.Trials)
+	if err := p.Validate(); err != nil {
+		return nil, err
 	}
 	workers := p.Workers
 	if workers <= 0 {

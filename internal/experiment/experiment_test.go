@@ -4,6 +4,7 @@ import (
 	"math"
 	"strings"
 	"testing"
+	"time"
 
 	"see/internal/sched"
 )
@@ -237,5 +238,51 @@ func TestRunPointDeterministicAcrossWorkerCounts(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestParamsValidate covers the fail-fast configuration guard RunPoint
+// (and through it every figure sweep) applies.
+func TestParamsValidate(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero trials", func(p *Params) { p.Trials = 0 }},
+		{"negative trials", func(p *Params) { p.Trials = -3 }},
+		{"negative slots", func(p *Params) { p.Slots = -1 }},
+		{"negative workers", func(p *Params) { p.Workers = -2 }},
+		{"zero nodes", func(p *Params) { p.Nodes = 0 }},
+		{"negative pairs", func(p *Params) { p.SDPairs = -1 }},
+		{"zero channels", func(p *Params) { p.Channels = 0 }},
+		{"zero memory", func(p *Params) { p.Memory = 0 }},
+		{"swap above one", func(p *Params) { p.SwapProb = 1.5 }},
+		{"negative swap", func(p *Params) { p.SwapProb = -0.1 }},
+		{"negative alpha", func(p *Params) { p.Alpha = -1e-4 }},
+		{"negative delta", func(p *Params) { p.Delta = -0.05 }},
+		{"negative kpaths", func(p *Params) { p.KPaths = -1 }},
+		{"negative hops", func(p *Params) { p.MaxSegmentHops = -1 }},
+		{"negative budget", func(p *Params) { p.SlotBudget = -time.Second }},
+		{"negative decoherence", func(p *Params) { p.DecoherenceSlots = -1 }},
+		{"unknown algorithm", func(p *Params) { p.Algorithms = []Algorithm{Algorithm(99)} }},
+	}
+	for _, tc := range cases {
+		p := DefaultParams()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+		if _, err := RunPoint(p); err == nil {
+			t.Errorf("%s: RunPoint accepted", tc.name)
+		}
+	}
+	// Registered repo-grown baselines pass.
+	p := DefaultParams()
+	p.Algorithms = []Algorithm{sched.Greedy, sched.Contend}
+	if err := p.Validate(); err != nil {
+		t.Errorf("registered baselines rejected: %v", err)
 	}
 }

@@ -341,6 +341,16 @@ func (t *CountingTracer) PhaseLatency(ph Phase) metrics.Summary {
 	return metrics.Summarize(samples)
 }
 
+// RestoreCounts overwrites the tallies with a checkpointed snapshot, so a
+// resumed run's tracer continues from the interrupted run's offsets. Phase
+// latencies are wall-clock observations, not replayable state; they reset.
+func (t *CountingTracer) RestoreCounts(c TracerCounts) {
+	t.mu.Lock()
+	t.counts = c
+	t.latency = [NumPhases][]float64{}
+	t.mu.Unlock()
+}
+
 // Reset clears all tallies and latencies.
 func (t *CountingTracer) Reset() {
 	t.mu.Lock()

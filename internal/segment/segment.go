@@ -243,6 +243,30 @@ func (s *Set) For(a, b int) []*Candidate {
 	return s.ByPair[MakePairKey(a, b)]
 }
 
+// CandidateFor returns the candidate with exactly the given physical route
+// (same orientation), or nil. Checkpoint restore uses it to re-link
+// deserialized segments to the catalogue's candidate objects, so pointer
+// identity — which structural comparisons of slot results depend on — is
+// re-established against the deterministically rebuilt catalogue.
+func (s *Set) CandidateFor(a, b int, path []int) *Candidate {
+	for _, c := range s.For(a, b) {
+		if len(c.Path) != len(path) {
+			continue
+		}
+		match := true
+		for i, v := range c.Path {
+			if v != path[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return c
+		}
+	}
+	return nil
+}
+
 // Best returns the highest-probability candidate for an endpoint pair, or
 // nil.
 func (s *Set) Best(a, b int) *Candidate {

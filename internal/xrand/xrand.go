@@ -21,14 +21,10 @@ func Split(rng *rand.Rand) *rand.Rand {
 
 // ForTrial derives the canonical per-trial generator: trial t of an
 // experiment with base seed s is always seeded identically, regardless of
-// how many trials run or in which order.
+// how many trials run or in which order. ForTrialStream is the
+// position-tracking variant used by checkpointing layers.
 func ForTrial(baseSeed int64, trial int) *rand.Rand {
-	// SplitMix-style mixing keeps nearby (seed, trial) pairs decorrelated.
-	z := uint64(baseSeed) + 0x9e3779b97f4a7c15*uint64(trial+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+	return rand.New(rand.NewSource(TrialSeed(baseSeed, trial)))
 }
 
 // Bernoulli returns true with probability p. Probabilities outside [0, 1]

@@ -26,6 +26,7 @@ import (
 	"see/internal/chaos"
 	"see/internal/engines"
 	"see/internal/sched"
+	"see/internal/serve"
 	"see/internal/state"
 	"see/internal/topo"
 	"see/internal/xrand"
@@ -498,4 +499,43 @@ func ChoosePairsWithTraffic(net *Network, count int, pattern Traffic, seed int64
 		pairs[i] = SDPair{S: p.S, D: p.D}
 	}
 	return pairs
+}
+
+// TrafficServer drives a Scheduler as a long-lived entanglement traffic
+// server: an arrival process generates per-user connection requests with
+// QoS classes and deadlines, an admission controller bounds the active
+// set, and each slot's established connections serve the queued requests
+// of their SD pairs in class-priority order. See internal/serve and
+// DESIGN.md §8.
+type TrafficServer = serve.Server
+
+// ServeConfig parameterizes a TrafficServer; build one from a spec string
+// with ParseArrivalSpec.
+type ServeConfig = serve.Config
+
+// ServeReport summarizes a service-mode run: throughput next to per-class
+// service rates and Jain's fairness index over per-user service.
+type ServeReport = serve.Report
+
+// ServeSlotStats reports one service-mode slot.
+type ServeSlotStats = serve.SlotStats
+
+// ParseArrivalSpec parses a service-mode arrival specification such as
+//
+//	poisson;rate=3;users=200;mix=0.2/0.3/0.5;deadline=4/8/16;max-active=64
+//
+// (also diurnal and bursty processes; see serve.ParseSpec for the full
+// grammar). The caller sets Seed — and Tracer, when pipeline counters
+// should ride along in checkpoints — on the returned config.
+func ParseArrivalSpec(spec string) (ServeConfig, error) {
+	return serve.ParseSpec(spec)
+}
+
+// NewTrafficServer builds a traffic server over a scheduler serving
+// `pairs` SD pairs (the length of the pair set the scheduler was built
+// with). The server owns all randomness: arrivals and the scheduler's
+// slots draw from one internal stream seeded by cfg.Seed, which is what
+// makes a checkpoint cursor pin the remaining run.
+func NewTrafficServer(s Scheduler, pairs int, cfg ServeConfig) (*TrafficServer, error) {
+	return serve.New(s, pairs, cfg)
 }
