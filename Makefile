@@ -58,12 +58,16 @@ docs-check:
 
 # chaos-smoke runs seesim with a canned fault spec plus an LP budget tight
 # enough to exercise the injector, the JSONL sink and the greedy fallback
-# in two slots.
+# in two slots, then a correlated-fault run (disc cut + brownout + flap,
+# fault-aware planning) under -race to shake the new capacity paths.
 chaos-smoke:
 	$(GO) run ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 2 -alg all \
 		-faults 'seed=7;node=3@1-;loss=0.05;decohere=0.01' -slot-budget 5s
 	$(GO) run ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 2 -alg see \
 		-slot-budget 1ns -trace-jsonl /tmp/see-chaos-smoke.jsonl
+	$(GO) run -race ./cmd/seesim -nodes 40 -pairs 6 -trials 1 -slots 6 -workers 4 \
+		-alg see,contend,qpass -fault-aware \
+		-faults 'seed=7;cut:2500,2500,1500@0-;brown:1,0.4@0-;flap:2,3,0.67@0-;node=!4@4-5'
 
 # serve-smoke is the kill/resume invariant end-to-end through real
 # processes: run service mode uninterrupted, run it again with periodic

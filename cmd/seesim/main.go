@@ -35,25 +35,26 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	fs := flag.NewFlagSet("seesim", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		nodes    = fs.Int("nodes", 200, "number of quantum nodes")
-		pairs    = fs.Int("pairs", 20, "number of SD pairs")
-		channels = fs.Int("channels", 3, "quantum channels per link")
-		memory   = fs.Int("memory", 10, "quantum memory per node")
-		swap     = fs.Float64("swap", 0.9, "quantum swapping success probability")
-		alpha    = fs.Float64("alpha", 2e-4, "attenuation parameter in p = exp(-alpha*l)+delta")
-		trials   = fs.Int("trials", 10, "independent trials (topology redrawn each)")
-		slots    = fs.Int("slots", 1, "time slots per trial")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		alg      = fs.String("alg", "all", "scheduler: see, reps, e2e, greedy, contend, a comma-separated list, or all")
-		topoName = fs.String("topo", "waxman", "topology: waxman or nsfnet")
-		traffic  = fs.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
-		trace    = fs.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
-		workers  = fs.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
-		faults   = fs.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;link=10@1-;loss=0.05;decohere=0.02\"")
-		budget   = fs.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
-		jsonl    = fs.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
-		carry    = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
-		decohere = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
+		nodes      = fs.Int("nodes", 200, "number of quantum nodes")
+		pairs      = fs.Int("pairs", 20, "number of SD pairs")
+		channels   = fs.Int("channels", 3, "quantum channels per link")
+		memory     = fs.Int("memory", 10, "quantum memory per node")
+		swap       = fs.Float64("swap", 0.9, "quantum swapping success probability")
+		alpha      = fs.Float64("alpha", 2e-4, "attenuation parameter in p = exp(-alpha*l)+delta")
+		trials     = fs.Int("trials", 10, "independent trials (topology redrawn each)")
+		slots      = fs.Int("slots", 1, "time slots per trial")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		alg        = fs.String("alg", "all", "scheduler: see, reps, e2e, greedy, contend, qpass, see-aware, contend-aware, a comma-separated list, or all")
+		topoName   = fs.String("topo", "waxman", "topology: waxman or nsfnet")
+		traffic    = fs.String("traffic", "uniform", "SD pair pattern: uniform, hotspot or gravity")
+		trace      = fs.Bool("trace", false, "print per-scheduler pipeline phase counters after the run")
+		workers    = fs.Int("workers", 0, "goroutines for LP pricing rounds (0 = GOMAXPROCS, 1 = serial; results are identical at any value)")
+		faults     = fs.String("faults", "", "deterministic fault spec, e.g. \"seed=7;node=3@2-5;cut:100,200,50@2-5;brown:4,0.5@1-;flap:2,4,0.5@0-8;loss=0.05\" (! marks an item as unannounced)")
+		faultAware = fs.Bool("fault-aware", false, "plan around announced faults: schemes with a fault-aware variant (see, contend) are swapped for it")
+		budget     = fs.Duration("slot-budget", 0, "LP solve budget per scheduler; on timeout the slot degrades to the greedy fallback (0 = unbounded)")
+		jsonl      = fs.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
+		carry      = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
+		decohere   = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
 
 		serveMode = fs.Bool("serve", false, "service mode: run one long-lived instance where an arrival process generates per-user requests with QoS classes and deadlines (-trials is ignored)")
 		arrivals  = fs.String("arrivals", "poisson;rate=2", "service-mode arrival spec, e.g. \"poisson;rate=3;users=200;mix=0.2/0.3/0.5;deadline=4/8/16;max-active=64\"")
@@ -70,6 +71,9 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 	if err != nil {
 		fmt.Fprintln(stderr, err)
 		return 2
+	}
+	if *faultAware {
+		algs = faultAwareAlgs(algs)
 	}
 
 	cfg := see.DefaultNetworkConfig()
@@ -300,6 +304,25 @@ func parseTraffic(s string) (see.Traffic, error) {
 	default:
 		return 0, fmt.Errorf("seesim: unknown -traffic %q (want uniform, hotspot or gravity)", s)
 	}
+}
+
+// faultAwareAlgs swaps every scheme for its fault-aware variant where one
+// exists (see -> see-aware, contend -> contend-aware; everything else is
+// kept as-is), deduplicating in case the selection already named the
+// variant.
+func faultAwareAlgs(algs []see.Algorithm) []see.Algorithm {
+	out := make([]see.Algorithm, 0, len(algs))
+	seen := make(map[see.Algorithm]bool, len(algs))
+	for _, a := range algs {
+		if v, ok := a.FaultAwareVariant(); ok {
+			a = v
+		}
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
 }
 
 // parseAlgs accepts "all", one scheme name, or a comma-separated list;

@@ -26,6 +26,25 @@ func FuzzParseSpec(f *testing.F) {
 		";;;",
 		"loss=1.5",
 		"decohere=NaN",
+		"cut:100,200,50@2-5",
+		"cut:!0,0,1000",
+		"cut:1,2",
+		"cut:1,2,-5",
+		"cut:NaN,0,1",
+		"brown:3,0.5@1-4",
+		"brown:!2,0.25",
+		"brown:1,1.5",
+		"brown:1,NaN",
+		"brown:1,0.5@1-3;brown:1,0.25@2-6",
+		"flap:1,4,0.5@0-8",
+		"flap:!0,3,0.75@2-",
+		"flap:1,0,0.5",
+		"flap:1,4,-1",
+		"flap:2,4,0.5@0-;flap:2,2,0.5@9-",
+		"seed=9;node=1@1-2;cut:10,20,5@1-3;brown:0,0.5@4-6;flap:2,2,0.5@1-;loss=0.1",
+		"node=1@1-2,cut:1,2,3",
+		"cut:",
+		"brown:;flap:",
 	} {
 		f.Add(seed)
 	}

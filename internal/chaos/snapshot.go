@@ -3,11 +3,15 @@ package chaos
 import "errors"
 
 // InjectorState is the serializable phase of an Injector: the slot clock and
-// the lifetime fault tallies. The down sets and the decoherence sequence are
-// not stored — both are recomputed (the former by Restore, the latter by the
-// next BeginSlot), because checkpoints are taken only at slot boundaries.
-// The plan itself is configuration, not state: a restored run rebuilds the
-// injector from the same FaultPlan and then applies the saved phase.
+// the lifetime fault tallies. The down sets, the brownout channel budgets
+// and the decoherence sequence are not stored — all are recomputed (the
+// first two by Restore, the last by the next BeginSlot), because
+// checkpoints are taken only at slot boundaries: the consumed part of a
+// brownout budget is intra-slot state that the next BeginSlot resets
+// anyway, so only the tallies need to round-trip. The plan itself is
+// configuration, not state: a restored run rebuilds the injector from the
+// same FaultPlan (disc-cut link sets included) and then applies the saved
+// phase.
 type InjectorState struct {
 	Slot   int    `json:"slot"`
 	Counts Counts `json:"counts"`
@@ -44,34 +48,8 @@ func (in *Injector) Restore(st *InjectorState) error {
 		in.counts = st.Counts
 	}
 	in.decoSeq = 0
-	in.recomputeDown()
+	// Rebuild the slot view — down sets and brownout budgets — without
+	// re-incrementing the outage counters a past BeginSlot already counted.
+	in.applyFaults(false)
 	return nil
-}
-
-// recomputeDown rebuilds the down sets for the current slot. Unlike
-// BeginSlot it leaves the outage counters untouched — it reconstructs the
-// view a past BeginSlot already accounted for.
-func (in *Injector) recomputeDown() {
-	for i := range in.downNode {
-		in.downNode[i] = false
-	}
-	for i := range in.downLink {
-		in.downLink[i] = false
-	}
-	if in.slot < 0 {
-		return
-	}
-	for _, w := range in.plan.NodeOutages {
-		if w.Covers(in.slot) && !in.downNode[w.ID] {
-			in.downNode[w.ID] = true
-			for _, id := range in.net.IncidentLinks(w.ID) {
-				in.downLink[id] = true
-			}
-		}
-	}
-	for _, w := range in.plan.LinkOutages {
-		if w.Covers(in.slot) {
-			in.downLink[w.ID] = true
-		}
-	}
 }

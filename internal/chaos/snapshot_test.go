@@ -4,36 +4,53 @@ import (
 	"reflect"
 	"testing"
 
+	"see/internal/segment"
 	"see/internal/topo"
 )
 
-// snapshotPlan exercises every fault stream: outages, loss, decoherence.
+// snapshotPlan exercises every fault stream: outages, correlated cuts,
+// brownouts, flaps, loss, decoherence.
 func snapshotPlan() *FaultPlan {
 	return &FaultPlan{
 		Seed:        99,
 		NodeOutages: []Window{{ID: 2, From: 3, To: 6}},
 		LinkOutages: []Window{{ID: 1, From: 5, To: 8}},
+		DiscCuts:    []DiscCut{{X: 1000, Y: 500, R: 600, From: 4, To: 7}},
+		Brownouts:   []Brownout{{Link: 0, Frac: 0.5, From: 2, To: 9}},
+		Flaps:       []Flap{{Link: 5, Period: 2, Duty: 0.5, From: 1, To: 10}},
 		MsgLoss:     0.2,
 		Decoherence: 0.3,
 	}
 }
 
 // drive runs the injector through one slot's worth of fault queries,
-// returning the decisions so runs can be compared decision-for-decision.
-func drive(in *Injector) []bool {
-	var out []bool
+// returning the decisions so runs can be compared decision-for-decision
+// (booleans rendered as 0/1, channel capacities and attempt grants as
+// themselves).
+func drive(in *Injector) []int {
+	b := func(v bool) int {
+		if v {
+			return 1
+		}
+		return 0
+	}
+	var out []int
 	in.BeginSlot()
 	for v := 0; v < 4; v++ {
-		out = append(out, in.NodeDown(v))
+		out = append(out, b(in.NodeDown(v)))
 	}
-	for id := 0; id < 4; id++ {
-		out = append(out, in.LinkDown(id))
+	for id := 0; id < 6; id++ {
+		out = append(out, b(in.LinkDown(id)), in.ChannelCap(id))
+	}
+	// Consume brownout budget mid-slot; the grant sequence must reproduce.
+	for k := 0; k < 3; k++ {
+		out = append(out, in.CapAttempts(&segment.Candidate{EdgeIDs: []int{0}}, 1))
 	}
 	for k := 0; k < 5; k++ {
-		out = append(out, in.SegmentDecohered())
+		out = append(out, b(in.SegmentDecohered()))
 	}
 	for m := 0; m < 5; m++ {
-		out = append(out, in.DropDelivery(m, 0))
+		out = append(out, b(in.DropDelivery(m, 0)))
 	}
 	return out
 }
@@ -49,7 +66,7 @@ func TestInjectorStateRestore(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	var want [][]bool
+	var want [][]int
 	var snap *InjectorState
 	for s := 0; s < slots; s++ {
 		if s == split {

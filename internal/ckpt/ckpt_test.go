@@ -156,12 +156,28 @@ func TestContainerRejectsFutureVersion(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Rewrite the version varint (Version = 1 encodes as one byte right
+	// Rewrite the version varint (Version encodes as one byte right
 	// after the magic) and fix up the checksum.
 	raw[len(Magic)] = Version + 1
 	binary.LittleEndian.PutUint32(raw[len(raw)-4:], crc32.ChecksumIEEE(raw[:len(raw)-4]))
 	if _, err := Decode(raw); err == nil || !IsCorrupt(err) || !strings.Contains(err.Error(), "version") {
 		t.Fatalf("future version: %v", err)
+	}
+}
+
+// TestContainerRejectsVersion1 pins that checkpoints written before the
+// correlated-fault counters widened the chaos Counts codec (container
+// version 1) are rejected cleanly instead of misdecoded: a hand-encoded
+// version-1 container with a valid checksum must fail with a version
+// message, not a codec panic or silent garbage.
+func TestContainerRejectsVersion1(t *testing.T) {
+	e := &Encoder{}
+	e.buf = append(e.buf, Magic...)
+	e.Uvarint(1) // the pre-brownout format version
+	e.Uvarint(0) // no sections
+	raw := binary.LittleEndian.AppendUint32(e.Bytes(), crc32.ChecksumIEEE(e.Bytes()))
+	if _, err := Decode(raw); err == nil || !IsCorrupt(err) || !strings.Contains(err.Error(), "version 1") {
+		t.Fatalf("version-1 container: %v", err)
 	}
 }
 
@@ -189,8 +205,11 @@ func TestEngineStateRoundTrip(t *testing.T) {
 		Inner: &sched.EngineState{
 			Algorithm: sched.SEE,
 			Chaos: &chaos.InjectorState{
-				Slot:   41,
-				Counts: chaos.Counts{NodeSlotsDown: 3, SegmentsDecohered: 9, MessagesDropped: 1},
+				Slot: 41,
+				Counts: chaos.Counts{
+					NodeSlotsDown: 3, SegmentsDecohered: 9, MessagesDropped: 1,
+					CutLinkSlotsDown: 4, FlapSlotsDown: 2, BrownoutAttemptsLost: 7,
+				},
 			},
 			Bank: &state.BankState{
 				Slot:  41,

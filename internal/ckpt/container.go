@@ -18,7 +18,10 @@ const Magic = "SEECKPT\n"
 // one it reads. Bump it when the framing or a known section codec changes
 // incompatibly; readers reject other versions outright rather than
 // misinterpret state — a wrong resume is worse than no resume.
-const Version = 1
+//
+// History: 2 widened the chaos Counts codec with the correlated-fault
+// counters (CutLinkSlotsDown, FlapSlotsDown, BrownoutAttemptsLost).
+const Version = 2
 
 // Section is one named, length-prefixed payload of a snapshot. Names keep
 // payloads self-describing: a reader takes the sections it knows and can

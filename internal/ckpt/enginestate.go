@@ -78,6 +78,9 @@ func AppendEngineState(e *Encoder, st *sched.EngineState) {
 		e.Int(c.RoutesBlocked)
 		e.Int(c.SegmentsDecohered)
 		e.Int(c.MessagesDropped)
+		e.Int(c.CutLinkSlotsDown)
+		e.Int(c.FlapSlotsDown)
+		e.Int(c.BrownoutAttemptsLost)
 	}
 	e.Bool(st.Bank != nil)
 	if st.Bank != nil {
@@ -123,6 +126,9 @@ func ReadEngineState(d *Decoder) *sched.EngineState {
 		cs.Counts.RoutesBlocked = d.Int()
 		cs.Counts.SegmentsDecohered = d.Int()
 		cs.Counts.MessagesDropped = d.Int()
+		cs.Counts.CutLinkSlotsDown = d.Int()
+		cs.Counts.FlapSlotsDown = d.Int()
+		cs.Counts.BrownoutAttemptsLost = d.Int()
 		st.Chaos = cs
 	}
 	if d.Bool() {

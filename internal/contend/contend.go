@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 	"time"
 
 	"see/internal/chaos"
@@ -66,6 +67,29 @@ type Options struct {
 	// Chaos injects deterministic faults into the physical phase; see the
 	// matching field in core.Options.
 	Chaos *chaos.Injector
+	// Algorithm is the scheme label the engine reports through
+	// Engine.Algorithm and the Tracer. The zero value is sched.Contend;
+	// the fault-aware (sched.ContendAware) and offline (sched.QPass)
+	// variants built in internal/engines override it.
+	Algorithm sched.Algorithm
+	// PlanChannels / PlanMemory, when non-nil, replace the network's
+	// capacity tables as the starting residuals of the selection loop (and
+	// the per-pair connection caps), so announced outages and brownouts
+	// are subtracted from c_uv and m_u before any candidate is scored. The
+	// physical phase keeps the true topology. See core.Options.
+	PlanChannels []int
+	PlanMemory   []int
+	// ForecastAvoided is the number of announced elements the planner
+	// routes around; when positive it is reported every slot as
+	// sched.IncidentForecastAvoid.
+	ForecastAvoided int
+	// Offline switches planning to the Q-PASS-style offline mode: every
+	// candidate path is scored once against the full fault-free topology
+	// (no contention re-scoring), paths are provisioned in round-robin
+	// sweeps over the SD pairs by static score with all-or-nothing
+	// charging, and the forecast is never consulted. The contrast baseline
+	// for the fault-aware variants.
+	Offline bool
 }
 
 // DefaultOptions returns the contention-aware defaults.
@@ -140,13 +164,20 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	if opts.RecoveryAttempts < 0 {
 		opts.RecoveryAttempts = 0
 	}
+	if opts.Algorithm == 0 {
+		opts.Algorithm = sched.Contend
+	}
 	set, err := segment.Build(net, pairs, opts.Segment)
 	if err != nil {
 		return nil, fmt.Errorf("contend: building candidates: %w", err)
 	}
+	planMem := net.Memory
+	if opts.PlanMemory != nil {
+		planMem = opts.PlanMemory
+	}
 	connCap := make([]int, len(pairs))
 	for i, sd := range pairs {
-		connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
+		connCap[i] = min(planMem[sd.S], planMem[sd.D])
 	}
 	e := &Engine{
 		Net:     net,
@@ -309,12 +340,13 @@ func (e *Engine) scorePath(r *residual, nodes graph.Path) (float64, []hop) {
 // candidate has positive score. Ties break deterministically on (pair
 // index, candidate index).
 func (e *Engine) buildPlan() {
-	r := &residual{
-		channels: append([]int(nil), e.Net.Channels...),
-		memory:   append([]int(nil), e.Net.Memory...),
-	}
 	e.plan = make(qnet.AttemptPlan)
 	e.recovery = make(qnet.AttemptPlan)
+	if e.opts.Offline {
+		e.buildPlanOffline()
+		return
+	}
+	r := e.startingResidual()
 	cands := e.candidatePaths()
 	planned := make([]int, len(e.Pairs))
 	for {
@@ -371,6 +403,142 @@ func (e *Engine) buildPlan() {
 	}
 }
 
+// startingResidual seeds the contention state from the planning capacity
+// tables: the forecast-shrunk overrides when set, the network tables
+// otherwise.
+func (e *Engine) startingResidual() *residual {
+	channels := e.Net.Channels
+	if e.opts.PlanChannels != nil {
+		channels = e.opts.PlanChannels
+	}
+	memory := e.Net.Memory
+	if e.opts.PlanMemory != nil {
+		memory = e.opts.PlanMemory
+	}
+	return &residual{
+		channels: append([]int(nil), channels...),
+		memory:   append([]int(nil), memory...),
+	}
+}
+
+// buildPlanOffline fixes the Q-PASS-style offline plan. Candidate paths
+// are scored exactly once against the full fault-free topology — the
+// offline planner re-scores nothing against residual state — then
+// provisioned in round-robin sweeps over the SD pairs (one path per
+// unsaturated pair per sweep, best static score first). A path is accepted
+// only if the residual resources still fit the pre-computed widths of all
+// its hops (all-or-nothing), and per-hop recovery attempts are reserved up
+// front like the online planner's. The fault forecast is deliberately
+// ignored: this is the contrast baseline the fault-aware variants are
+// measured against.
+func (e *Engine) buildPlanOffline() {
+	full := &residual{
+		channels: append([]int(nil), e.Net.Channels...),
+		memory:   append([]int(nil), e.Net.Memory...),
+	}
+	cands := e.candidatePaths()
+	type offlinePath struct {
+		nodes graph.Path
+		hops  []hop
+		score float64
+	}
+	scored := make([][]offlinePath, len(e.Pairs))
+	for i := range e.Pairs {
+		for _, nodes := range cands[i] {
+			score, hops := e.scorePath(full, nodes)
+			if score <= 0 {
+				continue
+			}
+			scored[i] = append(scored[i], offlinePath{nodes: nodes, hops: hops, score: score})
+		}
+		list := scored[i]
+		sort.SliceStable(list, func(a, b int) bool { return list[a].score > list[b].score })
+	}
+
+	r := &residual{
+		channels: append([]int(nil), e.Net.Channels...),
+		memory:   append([]int(nil), e.Net.Memory...),
+	}
+	// fits reports whether the residual covers every hop at its full
+	// pre-computed width (hops of one path may share links and endpoints,
+	// so charge a scratch copy).
+	fits := func(hops []hop) bool {
+		scratch := &residual{
+			channels: append([]int(nil), r.channels...),
+			memory:   append([]int(nil), r.memory...),
+		}
+		for _, h := range hops {
+			for _, id := range h.cand.EdgeIDs {
+				scratch.channels[id] -= h.attempts
+				if scratch.channels[id] < 0 {
+					return false
+				}
+			}
+			scratch.memory[h.pair.U] -= h.attempts
+			scratch.memory[h.pair.V] -= h.attempts
+			if scratch.memory[h.pair.U] < 0 || scratch.memory[h.pair.V] < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	planned := make([]int, len(e.Pairs))
+	for {
+		progress := false
+		for i := range e.Pairs {
+			if planned[i] >= e.ConnCap[i] {
+				continue
+			}
+			accepted := -1
+			for j, op := range scored[i] {
+				if !fits(op.hops) {
+					continue
+				}
+				accepted = j
+				break
+			}
+			if accepted < 0 {
+				continue
+			}
+			op := scored[i][accepted]
+			pp := plannedPath{commodity: i, nodes: op.nodes, score: op.score}
+			for _, h := range op.hops {
+				for _, id := range h.cand.EdgeIDs {
+					r.channels[id] -= h.attempts
+				}
+				r.memory[h.pair.U] -= h.attempts
+				r.memory[h.pair.V] -= h.attempts
+			}
+			for _, h := range op.hops {
+				if e.opts.RecoveryAttempts > 0 {
+					if rec, cost := e.cheapestFeasible(r, h.pair, h.cand); rec != nil && !math.IsInf(cost, 1) {
+						if n := widthFor(r, rec, h.pair, e.opts.RecoveryAttempts); n >= 1 {
+							for _, id := range rec.EdgeIDs {
+								r.channels[id] -= n
+							}
+							r.memory[h.pair.U] -= n
+							r.memory[h.pair.V] -= n
+							h.recovery, h.recAttempts = rec, n
+							e.recovery[rec] += n
+						}
+					}
+				}
+				pp.hops = append(pp.hops, h)
+				e.plan[h.cand] += h.attempts
+			}
+			e.paths = append(e.paths, pp)
+			planned[i]++
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+	for _, pp := range e.paths {
+		e.expected += pp.score
+	}
+}
+
 // RunSlot simulates one time slot: attempt the fixed primary plan, fire
 // reserved recovery attempts for hops whose primaries all failed, then
 // assemble the planned paths from realized segments (retrying on redundant
@@ -378,7 +546,7 @@ func (e *Engine) buildPlan() {
 func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	tr := e.tracer
 	traced := !sched.IsNop(tr)
-	tr.SlotStart(sched.Contend)
+	tr.SlotStart(e.opts.Algorithm)
 	res := &sched.SlotResult{
 		LPObjective:      e.expected,
 		PlannedPaths:     len(e.paths),
@@ -388,10 +556,15 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 
 	var fm qnet.FaultModel
 	faultsBefore := 0
+	var countsBefore chaos.Counts
 	if e.opts.Chaos.Active() {
+		countsBefore = e.opts.Chaos.Counts()
 		e.opts.Chaos.BeginSlot()
 		faultsBefore = e.opts.Chaos.Counts().Total()
 		fm = e.opts.Chaos
+	}
+	if e.opts.ForecastAvoided > 0 {
+		tr.Incident(sched.IncidentForecastAvoid, e.opts.ForecastAvoided)
 	}
 
 	// Cross-slot state: withdraw surviving carried segments and trim their
@@ -475,8 +648,18 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		tr.Incident(sched.IncidentRecovery, recoveryFired)
 	}
 	if fm != nil {
-		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+		// Attribute the slot's damage (see the matching block in
+		// internal/core): brownout denials and flap downs get their own
+		// incident kinds, the rest stays IncidentFault.
+		da := e.opts.Chaos.Counts().Sub(countsBefore)
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore - da.BrownoutAttemptsLost; d > 0 {
 			tr.Incident(sched.IncidentFault, d)
+		}
+		if da.FlapSlotsDown > 0 {
+			tr.Incident(sched.IncidentFlap, da.FlapSlotsDown)
+		}
+		if da.BrownoutAttemptsLost > 0 {
+			tr.Incident(sched.IncidentBrownout, da.BrownoutAttemptsLost)
 		}
 	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))
@@ -537,8 +720,9 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	return res, nil
 }
 
-// Algorithm identifies the scheme.
-func (e *Engine) Algorithm() sched.Algorithm { return sched.Contend }
+// Algorithm identifies the scheme (sched.Contend unless overridden by
+// Options.Algorithm for the fault-aware and offline variants).
+func (e *Engine) Algorithm() sched.Algorithm { return e.opts.Algorithm }
 
 // UpperBound returns the heuristic expected established count of the fixed
 // plan (not an LP bound — the engine solves none).

@@ -1,10 +1,13 @@
 package contend
 
 import (
+	"fmt"
 	"reflect"
+	"strings"
 	"testing"
 
 	"see/internal/graph"
+	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/state"
 	"see/internal/topo"
@@ -238,5 +241,165 @@ func TestCarryOverConservation(t *testing.T) {
 	}
 	if !trimmed {
 		t.Error("carried segments never trimmed the attempt plan")
+	}
+}
+
+// planLinks collects every fibre link id charged by the primary or
+// recovery plan.
+func planLinks(e *Engine) map[int]bool {
+	used := make(map[int]bool)
+	for c := range e.plan {
+		for _, id := range c.EdgeIDs {
+			used[id] = true
+		}
+	}
+	for c := range e.recovery {
+		for _, id := range c.EdgeIDs {
+			used[id] = true
+		}
+	}
+	return used
+}
+
+// TestPlanCapacityOverrides checks that PlanChannels/PlanMemory replace
+// the network tables as the selection loop's starting residuals: zeroing
+// an announced link's planning capacity must push every reservation off
+// that link, and shrinking an endpoint memory must cap the per-pair
+// connection count, while the true topology tables stay untouched.
+func TestPlanCapacityOverrides(t *testing.T) {
+	net, pairs := buildInstance(t, 50, 10, 3)
+	base, err := NewEngine(net, pairs, DefaultOptions())
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	var dead int
+	for id := range planLinks(base) {
+		dead = id
+		break
+	}
+	opts := DefaultOptions()
+	opts.Algorithm = sched.ContendAware
+	opts.PlanChannels = append([]int(nil), net.Channels...)
+	opts.PlanChannels[dead] = 0
+	opts.PlanMemory = append([]int(nil), net.Memory...)
+	opts.PlanMemory[pairs[0].S] = 1
+	aware, err := NewEngine(net, pairs, opts)
+	if err != nil {
+		t.Fatalf("NewEngine(aware): %v", err)
+	}
+	if got := aware.Algorithm(); got != sched.ContendAware {
+		t.Errorf("Algorithm() = %v, want ContendAware", got)
+	}
+	if planLinks(aware)[dead] {
+		t.Errorf("plan reserves attempts on link %d despite zero planning capacity", dead)
+	}
+	if got := aware.ConnCap[0]; got != 1 {
+		t.Errorf("ConnCap[0] = %d with planning memory 1, want 1", got)
+	}
+	if !reflect.DeepEqual(net.Channels[dead], base.Net.Channels[dead]) {
+		t.Error("override mutated the network's channel table")
+	}
+}
+
+// planSig renders an attempt plan in a pointer-free canonical form so
+// plans built from different segment.Build calls (distinct Candidate
+// pointers) can be compared.
+func planSig(plan qnet.AttemptPlan) string {
+	var sb strings.Builder
+	for _, c := range plan.SortedCandidates() {
+		fmt.Fprintf(&sb, "%v=%d;", c.Path, plan[c])
+	}
+	return sb.String()
+}
+
+// TestOfflinePlan locks the Q-PASS-style offline mode: it plans against
+// the full fault-free topology (the capacity overrides are ignored), the
+// fixed plan still respects the true resources, and construction is
+// deterministic.
+func TestOfflinePlan(t *testing.T) {
+	net, pairs := buildInstance(t, 50, 10, 3)
+	build := func() *Engine {
+		opts := DefaultOptions()
+		opts.Offline = true
+		opts.Algorithm = sched.QPass
+		eng, err := NewEngine(net, pairs, opts)
+		if err != nil {
+			t.Fatalf("NewEngine: %v", err)
+		}
+		return eng
+	}
+	eng := build()
+	if got := eng.Algorithm(); got != sched.QPass {
+		t.Errorf("Algorithm() = %v, want QPass", got)
+	}
+	if eng.PlannedPathCount() == 0 {
+		t.Fatal("offline planner accepted no paths")
+	}
+	channels := make([]int, net.NumLinks())
+	memory := make([]int, net.NumNodes())
+	charge := func(plan qnet.AttemptPlan) {
+		for c, n := range plan {
+			for _, id := range c.EdgeIDs {
+				channels[id] += n
+			}
+			memory[c.U()] += n
+			memory[c.V()] += n
+		}
+	}
+	charge(eng.plan)
+	charge(eng.recovery)
+	for id, used := range channels {
+		if used > net.Channels[id] {
+			t.Errorf("link %d: %d attempts reserved, capacity %d", id, used, net.Channels[id])
+		}
+	}
+	for u, used := range memory {
+		if used > net.Memory[u] {
+			t.Errorf("node %d: %d memory units reserved, capacity %d", u, used, net.Memory[u])
+		}
+	}
+	// The offline contrast must ignore the forecast: a capacity override
+	// that would reroute the online planner leaves the offline plan
+	// byte-identical.
+	opts := DefaultOptions()
+	opts.Offline = true
+	opts.Algorithm = sched.QPass
+	opts.PlanChannels = make([]int, net.NumLinks()) // everything "announced dead"
+	blind, err := NewEngine(net, pairs, opts)
+	if err != nil {
+		t.Fatalf("NewEngine(blind): %v", err)
+	}
+	if planSig(blind.plan) != planSig(eng.plan) || planSig(blind.recovery) != planSig(eng.recovery) {
+		t.Error("offline plan consulted the capacity overrides")
+	}
+	if _, err := eng.RunSlot(xrand.New(5)); err != nil {
+		t.Fatalf("RunSlot: %v", err)
+	}
+	again := build()
+	if planSig(again.plan) != planSig(eng.plan) {
+		t.Error("offline planning is not deterministic")
+	}
+}
+
+// TestForecastAvoidedIncident checks that a positive ForecastAvoided
+// count is reported through the tracer every slot.
+func TestForecastAvoidedIncident(t *testing.T) {
+	net, pairs := topo.Motivation()
+	tr := sched.NewCountingTracer()
+	opts := DefaultOptions()
+	opts.Tracer = tr
+	opts.ForecastAvoided = 3
+	eng, err := NewEngine(net, pairs, opts)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	rng := xrand.New(2)
+	for s := 0; s < 4; s++ {
+		if _, err := eng.RunSlot(rng); err != nil {
+			t.Fatalf("RunSlot: %v", err)
+		}
+	}
+	if got := tr.Counts().IncidentCount(sched.IncidentForecastAvoid); got != 12 {
+		t.Errorf("IncidentForecastAvoid total = %d over 4 slots, want 12", got)
 	}
 }

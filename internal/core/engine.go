@@ -54,8 +54,22 @@ type Options struct {
 	// routes, memory decoherence); nil or a zero-plan injector leaves the
 	// engine byte-identical to a run without any chaos layer. The
 	// controller stays unaware of outages: planning and reservation are
-	// untouched, attempts over down routes simply fail.
+	// untouched, attempts over down routes simply fail — unless the
+	// fault-aware fields below are set.
 	Chaos *chaos.Injector
+	// PlanChannels / PlanMemory, when non-nil, replace the network's
+	// capacity tables in every planning decision — LP right-hand sides,
+	// connection caps and the ESC reservation ledger — while the physical
+	// phase keeps the true topology. The fault-aware builder (see-aware in
+	// internal/engines) derives them from chaos.Forecast, so planning on
+	// the full topology with announced outages is byte-identical to
+	// planning on the equivalent pre-shrunk topology.
+	PlanChannels []int
+	PlanMemory   []int
+	// ForecastAvoided is the number of announced elements the planner
+	// routes around; when positive it is reported every slot as
+	// sched.IncidentForecastAvoid.
+	ForecastAvoided int
 }
 
 // DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
@@ -114,16 +128,30 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 	if err != nil {
 		return nil, fmt.Errorf("core: building candidates: %w", err)
 	}
-	sol, err := flow.SolveCtx(ctx, set, opts.Flow)
-	if err != nil {
-		return nil, fmt.Errorf("core: solving LP relaxation: %w", err)
+	// Fault-aware planning: the forecast-shrunk capacity tables feed the
+	// LP (capacity overrides and, via ConnCap below, the per-pair caps);
+	// with both nil the solve sees the network tables unchanged.
+	if opts.PlanChannels != nil {
+		opts.Flow.Channels = opts.PlanChannels
+	}
+	if opts.PlanMemory != nil {
+		opts.Flow.Memory = opts.PlanMemory
 	}
 	connCap := opts.Flow.ConnCap
 	if connCap == nil {
+		mem := net.Memory
+		if opts.PlanMemory != nil {
+			mem = opts.PlanMemory
+		}
 		connCap = make([]int, len(pairs))
 		for i, sd := range pairs {
-			connCap[i] = min(net.Memory[sd.S], net.Memory[sd.D])
+			connCap[i] = min(mem[sd.S], mem[sd.D])
 		}
+		opts.Flow.ConnCap = connCap
+	}
+	sol, err := flow.SolveCtx(ctx, set, opts.Flow)
+	if err != nil {
+		return nil, fmt.Errorf("core: solving LP relaxation: %w", err)
 	}
 	return &Engine{
 		Net:     net,
@@ -180,10 +208,15 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// the slot is byte-identical to a run without the chaos layer.
 	var fm qnet.FaultModel
 	faultsBefore := 0
+	var countsBefore chaos.Counts
 	if e.opts.Chaos.Active() {
+		countsBefore = e.opts.Chaos.Counts()
 		e.opts.Chaos.BeginSlot()
 		faultsBefore = e.opts.Chaos.Counts().Total()
 		fm = e.opts.Chaos
+	}
+	if e.opts.ForecastAvoided > 0 {
+		tr.Incident(sched.IncidentForecastAvoid, e.opts.ForecastAvoided)
 	}
 
 	// Cross-slot state: age out banked segments, then withdraw the
@@ -246,8 +279,19 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// events, the survivors are what ECE gets to work with.
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
-		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+		// Attribute the slot's damage: brownout denials and flap downs get
+		// their own incident kinds, the rest of the physical-phase delta
+		// stays IncidentFault (flap downs are counted by BeginSlot, before
+		// the faultsBefore snapshot, so they never leak into it).
+		da := e.opts.Chaos.Counts().Sub(countsBefore)
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore - da.BrownoutAttemptsLost; d > 0 {
 			tr.Incident(sched.IncidentFault, d)
+		}
+		if da.FlapSlotsDown > 0 {
+			tr.Incident(sched.IncidentFlap, da.FlapSlotsDown)
+		}
+		if da.BrownoutAttemptsLost > 0 {
+			tr.Incident(sched.IncidentBrownout, da.BrownoutAttemptsLost)
 		}
 	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))

@@ -18,7 +18,9 @@ import (
 func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []PlannedPath, error) {
 	ordered := orderPaths(planned)
 
-	ledger := qnet.NewLedger(e.Net)
+	// Fault-aware planning reserves against the forecast-shrunk capacities
+	// (nil overrides keep the network tables).
+	ledger := qnet.NewLedgerWithCapacities(e.Net, e.opts.PlanChannels, e.opts.PlanMemory)
 	plan := make(qnet.AttemptPlan)
 	// expected[pk] = Σ_k p^k·x^k currently reserved for the pair;
 	// demand[pk] = paths in D using the pair;

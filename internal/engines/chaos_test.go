@@ -193,3 +193,98 @@ func TestResilientHealthy(t *testing.T) {
 		})
 	}
 }
+
+// announcedInjector builds an injector whose plan is entirely announced:
+// a dead link, a browned link and a flapping link, all windows covering
+// every slot the tests run.
+func announcedInjector(t *testing.T, net *topo.Network) *chaos.Injector {
+	t.Helper()
+	plan := &chaos.FaultPlan{
+		Seed:        5,
+		LinkOutages: []chaos.Window{{ID: 0, From: 0}},
+		Brownouts:   []chaos.Brownout{{Link: 1, Frac: 0.5, From: 0}},
+		Flaps:       []chaos.Flap{{Link: 2, Period: 4, Duty: 0.5, From: 0}},
+	}
+	if err := plan.Validate(net.NumNodes(), net.NumLinks()); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	inj, err := chaos.NewInjector(plan, net)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	return inj
+}
+
+// TestForecastTables checks the translation from the injector's announced
+// forecast to planning capacity tables: dead links zeroed, browned links
+// derated, flapping links scaled by duty, everything else untouched — and
+// all-nil for an injector with nothing announced.
+func TestForecastTables(t *testing.T) {
+	net, _ := topo.Motivation()
+	inj := announcedInjector(t, net)
+	channels, memory, avoided := forecastTables(inj, net)
+	if avoided == 0 {
+		t.Error("announced plan but Avoided() = 0")
+	}
+	if channels[0] != 0 {
+		t.Errorf("dead link 0: planning capacity %d, want 0", channels[0])
+	}
+	if want := net.Channels[1] / 2; channels[1] != want {
+		t.Errorf("browned link 1: planning capacity %d, want %d", channels[1], want)
+	}
+	if channels[2] >= net.Channels[2] || channels[2] < 0 {
+		t.Errorf("flapping link 2: planning capacity %d, want in [0, %d)", channels[2], net.Channels[2])
+	}
+	for id := 3; id < net.NumLinks(); id++ {
+		if channels[id] != net.Channels[id] {
+			t.Errorf("clean link %d: planning capacity %d, want %d", id, channels[id], net.Channels[id])
+		}
+	}
+	for v, m := range memory {
+		if m != net.Memory[v] {
+			t.Errorf("node %d: planning memory %d, want %d (no node announced)", v, m, net.Memory[v])
+		}
+	}
+
+	inert, err := chaos.NewInjector(&chaos.FaultPlan{}, net)
+	if err != nil {
+		t.Fatalf("NewInjector: %v", err)
+	}
+	if c, m, a := forecastTables(inert, net); c != nil || m != nil || a != 0 {
+		t.Errorf("inert injector: forecastTables = (%v, %v, %d), want (nil, nil, 0)", c, m, a)
+	}
+	if c, m, a := forecastTables(nil, net); c != nil || m != nil || a != 0 {
+		t.Errorf("nil injector: forecastTables = (%v, %v, %d), want (nil, nil, 0)", c, m, a)
+	}
+}
+
+// TestFaultAwareBuilders constructs every registered engine against an
+// announced fault plan and checks the registry labels survive the trip:
+// each engine reports its own algorithm, the fault-aware variants report
+// the forecast through IncidentForecastAvoid and the rest do not.
+func TestFaultAwareBuilders(t *testing.T) {
+	net, pairs := topo.Motivation()
+	for _, alg := range List() {
+		t.Run(alg.String(), func(t *testing.T) {
+			inj := announcedInjector(t, net)
+			tr := sched.NewCountingTracer()
+			eng, err := New(alg, net, pairs, Config{Chaos: inj, Tracer: tr})
+			if err != nil {
+				t.Fatalf("New(%v): %v", alg, err)
+			}
+			if got := eng.Algorithm(); got != alg {
+				t.Errorf("Algorithm() = %v, want %v", got, alg)
+			}
+			if _, err := eng.RunSlot(xrand.New(3)); err != nil {
+				t.Fatalf("RunSlot: %v", err)
+			}
+			avoided := tr.Counts().IncidentCount(sched.IncidentForecastAvoid)
+			if alg.FaultAware() && avoided == 0 {
+				t.Error("fault-aware engine reported no IncidentForecastAvoid")
+			}
+			if !alg.FaultAware() && avoided != 0 {
+				t.Errorf("fault-blind engine reported IncidentForecastAvoid = %d", avoided)
+			}
+		})
+	}
+}

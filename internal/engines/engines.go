@@ -68,11 +68,14 @@ type Builder func(ctx context.Context, net *topo.Network, pairs []topo.SDPair, c
 
 // builders is the algorithm registry.
 var builders = map[sched.Algorithm]Builder{
-	sched.SEE:     newSEE,
-	sched.REPS:    newREPS,
-	sched.E2E:     newE2E,
-	sched.Greedy:  newGreedy,
-	sched.Contend: newContend,
+	sched.SEE:          newSEE,
+	sched.REPS:         newREPS,
+	sched.E2E:          newE2E,
+	sched.Greedy:       newGreedy,
+	sched.Contend:      newContend,
+	sched.QPass:        newQPass,
+	sched.ContendAware: newContendAware,
+	sched.SEEAware:     newSEEAware,
 }
 
 // List returns every registered algorithm in ascending order. The
@@ -138,6 +141,12 @@ func newE2E(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Con
 }
 
 func newContend(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return contend.NewEngine(net, pairs, contendOptions(cfg))
+}
+
+// contendOptions translates the shared Config into contend options; the
+// Contend, ContendAware and QPass builders all start from it.
+func contendOptions(cfg Config) contend.Options {
 	o := contend.DefaultOptions()
 	if cfg.KPaths > 0 {
 		o.Segment.KPaths = cfg.KPaths
@@ -151,6 +160,71 @@ func newContend(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg C
 	}
 	o.Tracer = cfg.Tracer
 	o.Chaos = cfg.Chaos
+	return o
+}
+
+// forecastTables turns the injector's announced-fault forecast into
+// planning capacity tables: channels/memory with forecast-dead elements
+// zeroed and browned links derated, plus the number of elements the
+// forecast routes around. All nil/0 when there is no forecast, so
+// fault-aware engines without announced faults plan on the true topology
+// and stay byte-identical to their fault-blind twins.
+func forecastTables(in *chaos.Injector, net *topo.Network) (channels, memory []int, avoided int) {
+	fc := in.Forecast()
+	if fc.IsZero() {
+		return nil, nil, 0
+	}
+	channels = make([]int, net.NumLinks())
+	for id := range channels {
+		channels[id] = fc.Channels(id, net.Channels[id])
+	}
+	memory = make([]int, net.NumNodes())
+	for v := range memory {
+		memory[v] = fc.Memory(v, net.Memory[v])
+	}
+	return channels, memory, fc.Avoided()
+}
+
+func newSEEAware(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	co := core.DefaultOptions()
+	if cfg.KPaths > 0 {
+		co.Segment.KPaths = cfg.KPaths
+	}
+	if cfg.MaxSegmentHops > 0 {
+		co.Segment.MaxSegmentHops = cfg.MaxSegmentHops
+	}
+	if cfg.MinSegmentProb > 0 {
+		co.Segment.MinProb = cfg.MinSegmentProb
+	}
+	co.StrictProvisioning = cfg.StrictProvisioning
+	co.Flow.SwapWeightedObjective = !cfg.PlainObjective
+	co.Flow.Workers = cfg.Workers
+	co.Tracer = cfg.Tracer
+	co.Chaos = cfg.Chaos
+	co.Algorithm = sched.SEEAware
+	co.PlanChannels, co.PlanMemory, co.ForecastAvoided = forecastTables(cfg.Chaos, net)
+	// Always on (not gated on a non-zero forecast) so planning on a full
+	// topology with forecast tables is the same code path as planning on a
+	// pre-shrunk topology with none — the equivalence the schedtest
+	// forecast contract pins. With no dead links it drops nothing.
+	co.Flow.DropDeadLinks = true
+	return core.NewEngineCtx(ctx, net, pairs, co)
+}
+
+func newContendAware(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	o := contendOptions(cfg)
+	o.Algorithm = sched.ContendAware
+	o.PlanChannels, o.PlanMemory, o.ForecastAvoided = forecastTables(cfg.Chaos, net)
+	return contend.NewEngine(net, pairs, o)
+}
+
+// newQPass builds the Q-PASS-style offline contrast baseline: paths are
+// fixed from the fault-free topology with per-hop recovery reserved up
+// front, and the forecast is deliberately ignored.
+func newQPass(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	o := contendOptions(cfg)
+	o.Algorithm = sched.QPass
+	o.Offline = true
 	return contend.NewEngine(net, pairs, o)
 }
 

@@ -90,6 +90,16 @@ type Options struct {
 	Channels []int
 	// Memory, when non-nil, overrides the per-node memory capacities.
 	Memory []int
+	// DropDeadLinks removes candidates crossing a link with zero effective
+	// channel capacity — or ending at a node with zero effective memory —
+	// from column pricing entirely (their attempt factor becomes +Inf)
+	// instead of merely giving them a zero-capacity row. Fault-aware
+	// engines enable it so forecast-dead elements never enter the column
+	// space; because "effective" means the Channels/Memory override when
+	// present and the network tables otherwise, the pricing trajectory on
+	// a full topology with forecast overrides is byte-identical to the one
+	// on the equivalent pre-shrunk topology with no overrides.
+	DropDeadLinks bool
 	// SwapWeightedObjective weights each path column by its junction swap
 	// survival Π q_j instead of 1, so the LP maximizes *expected
 	// established* connections rather than planned ones. Formulation (1)
@@ -324,12 +334,36 @@ func (m *model) buildCandidateTables() {
 	m.bestCand = make([]*segment.Candidate, n)
 	m.bestCandIdx = make([]int32, n)
 	m.bestFactor = make([]float64, n)
+	dead := func(c *segment.Candidate) bool { return false }
+	if m.opts.DropDeadLinks {
+		channels := m.opts.Channels
+		if channels == nil {
+			channels = m.set.Net.Channels
+		}
+		memory := m.opts.Memory
+		if memory == nil {
+			memory = m.set.Net.Memory
+		}
+		dead = func(c *segment.Candidate) bool {
+			for _, e := range c.EdgeIDs {
+				if channels[e] <= 0 {
+					return true
+				}
+			}
+			return memory[c.Path[0]] <= 0 || memory[c.Path[len(c.Path)-1]] <= 0
+		}
+	}
 	for id, pk := range m.set.EdgePairs {
 		list := m.set.ByPair[pk]
 		fs := make([]float64, len(list))
 		rows := make([][]int32, len(list))
 		for k, c := range list {
-			fs[k] = attemptFactor(m.set, c)
+			if dead(c) {
+				// Forecast-dead realization: excluded from the column space.
+				fs[k] = math.Inf(1)
+			} else {
+				fs[k] = attemptFactor(m.set, c)
+			}
 			lr := make([]int32, len(c.EdgeIDs))
 			for h, e := range c.EdgeIDs {
 				lr[h] = int32(m.linkRow[e])

@@ -86,6 +86,16 @@ type FaultModel interface {
 	SegmentDecohered() bool
 }
 
+// CapacityModel is the optional brownout extension a FaultModel may also
+// implement (chaos.Injector does): CapAttempts bounds the attempts actually
+// fired for a candidate by the per-slot channel budgets of browned-out
+// links on its route, charging what it grants. Like blocked candidates,
+// denied attempts fail without consuming rng, so brownout damage is a pure
+// function of the fault plan.
+type CapacityModel interface {
+	CapAttempts(c *segment.Candidate, want int) int
+}
+
 // AttemptAll performs the physical phase: every reserved attempt succeeds
 // independently with its candidate's probability. The result is sorted
 // deterministically (by endpoint pair, then candidate path) so a fixed rng
@@ -106,6 +116,7 @@ func AttemptAllObserved(plan AttemptPlan, rng *rand.Rand, obs AttemptObserver) [
 // randomness, so the rng stream of the surviving attempts — and with it the
 // whole slot — is a pure function of (engine seed, fault plan).
 func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs AttemptObserver) []*Segment {
+	cm, _ := fm.(CapacityModel)
 	var out []*Segment
 	for _, c := range plan.SortedCandidates() {
 		if fm != nil && fm.CandidateBlocked(c) {
@@ -116,13 +127,24 @@ func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs Attem
 			}
 			continue
 		}
-		for k := 0; k < plan[c]; k++ {
+		// Brownouts cap the attempts the route's channels can carry this
+		// slot; the remainder fails deterministically, rng untouched.
+		granted := plan[c]
+		if cm != nil {
+			granted = cm.CapAttempts(c, granted)
+		}
+		for k := 0; k < granted; k++ {
 			created := xrand.Bernoulli(rng, c.Prob)
 			if created {
 				out = append(out, &Segment{A: c.U(), B: c.V(), Cand: c})
 			}
 			if obs != nil {
 				obs(c, created)
+			}
+		}
+		if obs != nil {
+			for k := granted; k < plan[c]; k++ {
+				obs(c, false)
 			}
 		}
 	}

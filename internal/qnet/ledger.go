@@ -15,20 +15,38 @@ import (
 // per node during resource reservation. All mutations are checked: the
 // ledger never goes negative and releases never exceed capacity.
 type Ledger struct {
-	net      *topo.Network
+	chanCap  []int
+	memCap   []int
 	chanFree []int
 	memFree  []int
 }
 
 // NewLedger returns a full ledger for the network.
 func NewLedger(net *topo.Network) *Ledger {
+	return NewLedgerWithCapacities(net, nil, nil)
+}
+
+// NewLedgerWithCapacities returns a full ledger with explicit per-link
+// channel and per-node memory capacities overriding the network's tables
+// (nil keeps the network values). Fault-aware engines reserve against the
+// forecast-shrunk capacities this way, so planning on a full topology with
+// announced outages is indistinguishable from planning on the pre-shrunk
+// topology itself.
+func NewLedgerWithCapacities(net *topo.Network, channels, memory []int) *Ledger {
+	if channels == nil {
+		channels = net.Channels
+	}
+	if memory == nil {
+		memory = net.Memory
+	}
 	l := &Ledger{
-		net:      net,
+		chanCap:  channels,
+		memCap:   memory,
 		chanFree: make([]int, net.NumLinks()),
 		memFree:  make([]int, net.NumNodes()),
 	}
-	copy(l.chanFree, net.Channels)
-	copy(l.memFree, net.Memory)
+	copy(l.chanFree, channels)
+	copy(l.memFree, memory)
 	return l
 }
 
@@ -71,12 +89,12 @@ func (l *Ledger) Reserve(c *segment.Candidate) error {
 // Release returns one attempt's resources to the ledger.
 func (l *Ledger) Release(c *segment.Candidate) error {
 	for _, e := range c.EdgeIDs {
-		if l.chanFree[e]+1 > l.net.Channels[e] {
+		if l.chanFree[e]+1 > l.chanCap[e] {
 			return fmt.Errorf("qnet: channel over-release on link %d", e)
 		}
 	}
 	u, v := c.Path[0], c.Path[len(c.Path)-1]
-	if l.memFree[u]+1 > l.net.Memory[u] || l.memFree[v]+1 > l.net.Memory[v] {
+	if l.memFree[u]+1 > l.memCap[u] || l.memFree[v]+1 > l.memCap[v] {
 		return fmt.Errorf("qnet: memory over-release at segment %v", c.Path)
 	}
 	for _, e := range c.EdgeIDs {
@@ -90,13 +108,13 @@ func (l *Ledger) Release(c *segment.Candidate) error {
 // Validate checks the ledger invariants 0 ≤ free ≤ capacity.
 func (l *Ledger) Validate() error {
 	for e, f := range l.chanFree {
-		if f < 0 || f > l.net.Channels[e] {
-			return fmt.Errorf("qnet: link %d free channels %d outside [0,%d]", e, f, l.net.Channels[e])
+		if f < 0 || f > l.chanCap[e] {
+			return fmt.Errorf("qnet: link %d free channels %d outside [0,%d]", e, f, l.chanCap[e])
 		}
 	}
 	for u, f := range l.memFree {
-		if f < 0 || f > l.net.Memory[u] {
-			return fmt.Errorf("qnet: node %d free memory %d outside [0,%d]", u, f, l.net.Memory[u])
+		if f < 0 || f > l.memCap[u] {
+			return fmt.Errorf("qnet: node %d free memory %d outside [0,%d]", u, f, l.memCap[u])
 		}
 	}
 	return nil
@@ -106,7 +124,7 @@ func (l *Ledger) Validate() error {
 func (l *Ledger) UsedChannels() int {
 	total := 0
 	for e, f := range l.chanFree {
-		total += l.net.Channels[e] - f
+		total += l.chanCap[e] - f
 	}
 	return total
 }
@@ -115,7 +133,7 @@ func (l *Ledger) UsedChannels() int {
 func (l *Ledger) UsedMemory() int {
 	total := 0
 	for u, f := range l.memFree {
-		total += l.net.Memory[u] - f
+		total += l.memCap[u] - f
 	}
 	return total
 }

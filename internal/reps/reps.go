@@ -281,7 +281,9 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// an active injector.
 	var fm qnet.FaultModel
 	faultsBefore := 0
+	var countsBefore chaos.Counts
 	if e.opts.Chaos.Active() {
+		countsBefore = e.opts.Chaos.Counts()
 		e.opts.Chaos.BeginSlot()
 		faultsBefore = e.opts.Chaos.Counts().Total()
 		fm = e.opts.Chaos
@@ -326,8 +328,17 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
-		if d := e.opts.Chaos.Counts().Total() - faultsBefore; d > 0 {
+		// Brownout denials and flap downs get their own incident kinds; the
+		// rest stays IncidentFault (see the matching block in internal/core).
+		da := e.opts.Chaos.Counts().Sub(countsBefore)
+		if d := e.opts.Chaos.Counts().Total() - faultsBefore - da.BrownoutAttemptsLost; d > 0 {
 			tr.Incident(sched.IncidentFault, d)
+		}
+		if da.FlapSlotsDown > 0 {
+			tr.Incident(sched.IncidentFlap, da.FlapSlotsDown)
+		}
+		if da.BrownoutAttemptsLost > 0 {
+			tr.Incident(sched.IncidentBrownout, da.BrownoutAttemptsLost)
 		}
 	}
 	tr.PhaseDone(sched.PhasePhysical, time.Since(t0))

@@ -52,6 +52,22 @@ const (
 	// memory, plus recovery-path fallback in the physical phase (see
 	// internal/contend).
 	Contend
+	// QPass is the offline-routing contrast baseline in the Q-PASS spirit
+	// (Shi & Qian, SIGCOMM 2020): candidate paths are fixed against the
+	// fault-free topology, scored offline, and provisioned with per-hop
+	// recovery attempts reserved up front; the plan never adapts to
+	// residual capacities or to the fault forecast (see internal/contend's
+	// offline mode).
+	QPass
+	// ContendAware is Contend with fault-forecast subtraction: announced
+	// outages zero and announced brownouts shrink the residual channel and
+	// memory capacities before candidate paths are scored (see
+	// chaos.Forecast and DESIGN.md §5c).
+	ContendAware
+	// SEEAware is SEE with fault-forecast subtraction: forecast-dead links
+	// are dropped from LP column pricing and announced capacity reductions
+	// shrink the provisioning tables.
+	SEEAware
 )
 
 // Algorithms lists the paper's schemes in display order. Greedy and
@@ -72,13 +88,20 @@ func (a Algorithm) String() string {
 		return "Greedy"
 	case Contend:
 		return "Contend"
+	case QPass:
+		return "QPass"
+	case ContendAware:
+		return "Contend-Aware"
+	case SEEAware:
+		return "SEE-Aware"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
 // ParseAlgorithm maps a case-insensitive scheme name ("see", "reps",
-// "e2e", "greedy", "contend") to its Algorithm.
+// "e2e", "greedy", "contend", "qpass", "contend-aware", "see-aware") to
+// its Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
 	case "see":
@@ -91,9 +114,34 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return Greedy, nil
 	case "contend":
 		return Contend, nil
+	case "qpass":
+		return QPass, nil
+	case "contend-aware":
+		return ContendAware, nil
+	case "see-aware":
+		return SEEAware, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e, greedy or contend)", s)
+		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e, greedy, contend, qpass, contend-aware or see-aware)", s)
 	}
+}
+
+// FaultAware reports whether the scheme subtracts the announced fault
+// forecast from its planning capacities.
+func (a Algorithm) FaultAware() bool { return a == SEEAware || a == ContendAware }
+
+// FaultAwareVariant returns the forecast-aware twin of a scheme and true,
+// or the scheme unchanged and false when no aware variant is registered
+// (REPS, E2E, Greedy and QPass plan fault-blind by design).
+func (a Algorithm) FaultAwareVariant() (Algorithm, bool) {
+	switch a {
+	case SEE:
+		return SEEAware, true
+	case Contend:
+		return ContendAware, true
+	case SEEAware, ContendAware:
+		return a, true
+	}
+	return a, false
 }
 
 // SlotResult is the canonical report of one simulated time slot, shared by

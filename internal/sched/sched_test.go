@@ -10,6 +10,7 @@ func TestParseAlgorithm(t *testing.T) {
 		"see": SEE, "SEE": SEE, "See": SEE,
 		"reps": REPS, "REPS": REPS,
 		"e2e": E2E, "E2E": E2E,
+		"qpass": QPass, "contend-aware": ContendAware, "see-aware": SEEAware,
 	}
 	for in, want := range cases {
 		got, err := ParseAlgorithm(in)
@@ -17,15 +18,48 @@ func TestParseAlgorithm(t *testing.T) {
 			t.Errorf("ParseAlgorithm(%q) = %v, %v; want %v", in, got, err, want)
 		}
 	}
-	for _, bad := range []string{"", "qpass", "all"} {
+	for _, bad := range []string{"", "qcast", "all"} {
 		if _, err := ParseAlgorithm(bad); err == nil {
 			t.Errorf("ParseAlgorithm(%q) accepted", bad)
 		}
 	}
-	for _, a := range Algorithms {
+	for _, a := range []Algorithm{SEE, REPS, E2E, Greedy, Contend, QPass, ContendAware, SEEAware} {
 		back, err := ParseAlgorithm(a.String())
 		if err != nil || back != a {
 			t.Errorf("round trip %v -> %q -> %v, %v", a, a.String(), back, err)
+		}
+	}
+}
+
+func TestFaultAwareVariant(t *testing.T) {
+	cases := []struct {
+		in   Algorithm
+		want Algorithm
+		ok   bool
+	}{
+		{SEE, SEEAware, true},
+		{Contend, ContendAware, true},
+		{SEEAware, SEEAware, true},
+		{ContendAware, ContendAware, true},
+		{REPS, REPS, false},
+		{E2E, E2E, false},
+		{Greedy, Greedy, false},
+		{QPass, QPass, false},
+	}
+	for _, c := range cases {
+		got, ok := c.in.FaultAwareVariant()
+		if got != c.want || ok != c.ok {
+			t.Errorf("%v.FaultAwareVariant() = %v, %v; want %v, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	for _, a := range []Algorithm{SEEAware, ContendAware} {
+		if !a.FaultAware() {
+			t.Errorf("%v.FaultAware() = false", a)
+		}
+	}
+	for _, a := range []Algorithm{SEE, REPS, E2E, Greedy, Contend, QPass} {
+		if a.FaultAware() {
+			t.Errorf("%v.FaultAware() = true", a)
 		}
 	}
 }

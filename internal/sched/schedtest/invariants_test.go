@@ -8,6 +8,7 @@ import (
 	"see/internal/engines"
 	"see/internal/sched"
 	"see/internal/state"
+	"see/internal/topo"
 )
 
 // testNodes/testPairs/testSlots size every invariant run: big enough for
@@ -20,12 +21,16 @@ const (
 	testSeed  = 20220406
 )
 
-// TestRegistryComplete pins the engine registry: the paper trio plus the
-// two repo-grown baselines, in enum order. A new engine must be added here
+// TestRegistryComplete pins the engine registry: the paper trio, the
+// repo-grown baselines, the Q-PASS-style offline contrast and the
+// fault-aware variants, in enum order. A new engine must be added here
 // deliberately — and by being registered it automatically enters every
 // other test in this package.
 func TestRegistryComplete(t *testing.T) {
-	want := []sched.Algorithm{sched.SEE, sched.REPS, sched.E2E, sched.Greedy, sched.Contend}
+	want := []sched.Algorithm{
+		sched.SEE, sched.REPS, sched.E2E, sched.Greedy, sched.Contend,
+		sched.QPass, sched.ContendAware, sched.SEEAware,
+	}
 	if got := engines.List(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("engines.List() = %v, want %v", got, want)
 	}
@@ -172,6 +177,138 @@ func TestZeroChaosIsByteIdentical(t *testing.T) {
 			t.Error("zero-value fault plan changed the run")
 		}
 	})
+}
+
+// forecastPlan builds an all-announced fault plan whose windows lie far
+// beyond the slots the tests run, so the forecast is non-trivial but zero
+// faults ever realize. The disc cut is aimed at node 5's first incident
+// link so it is guaranteed non-empty.
+func forecastPlan(t *testing.T, net *topo.Network) *chaos.FaultPlan {
+	t.Helper()
+	e := net.G.Neighbors(5)[0]
+	mx := (net.Pos[5][0] + net.Pos[e.To][0]) / 2
+	my := (net.Pos[5][1] + net.Pos[e.To][1]) / 2
+	p := &chaos.FaultPlan{
+		Seed:        testSeed,
+		NodeOutages: []chaos.Window{{ID: 2, From: 100, To: 200}},
+		LinkOutages: []chaos.Window{{ID: 1, From: 100, To: 200}},
+		DiscCuts:    []chaos.DiscCut{{X: mx, Y: my, R: 1, From: 100, To: 200}},
+		Brownouts:   []chaos.Brownout{{Link: 3, Frac: 0.5, From: 100, To: 200}},
+		Flaps:       []chaos.Flap{{Link: 4, Period: 4, Duty: 0.5, From: 100, To: 200}},
+	}
+	if err := p.Validate(net.NumNodes(), net.NumLinks()); err != nil {
+		t.Fatal(err)
+	}
+	if len(chaos.DiscLinks(net, mx, my, 1)) == 0 {
+		t.Fatal("disc cut covers no links; fixture is trivial")
+	}
+	return p
+}
+
+// shrinkNet applies the plan's forecast to the capacity tables directly:
+// the returned network shares the graph but has forecast-dead elements
+// zeroed and browned/flapping links derated — what a fault-aware planner
+// is supposed to plan against.
+func shrinkNet(t *testing.T, net *topo.Network, p *chaos.FaultPlan) *topo.Network {
+	t.Helper()
+	fc := p.Forecast(net)
+	if fc.IsZero() {
+		t.Fatal("forecast is zero; fixture is trivial")
+	}
+	n2 := *net
+	n2.Channels = make([]int, net.NumLinks())
+	for id := range n2.Channels {
+		n2.Channels[id] = fc.Channels(id, net.Channels[id])
+	}
+	n2.Memory = make([]int, net.NumNodes())
+	for v := range n2.Memory {
+		n2.Memory[v] = fc.Memory(v, net.Memory[v])
+	}
+	return &n2
+}
+
+// TestForecastContract pins the announced-fault planning semantics for
+// every registered engine. With an all-announced plan whose windows never
+// realize inside the run:
+//
+//   - a fault-aware engine planning on the full topology (forecast
+//     subtraction on) must be byte-identical to the same engine planning on
+//     the pre-shrunk topology with no injector at all — forecast
+//     application is exactly a capacity-table substitution, nothing more;
+//   - a fault-blind engine must ignore the announcements entirely and stay
+//     byte-identical to its no-chaos run on the full topology.
+func TestForecastContract(t *testing.T) {
+	net, pairs, err := Instance(testNodes, testPairs, testSeed+6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := forecastPlan(t, net)
+	shrunk := shrinkNet(t, net, plan)
+	forEachEngine(t, func(t *testing.T, alg sched.Algorithm) {
+		inj, err := chaos.NewInjector(plan, net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		announced, err := engines.New(alg, net, pairs, engines.Config{Chaos: inj})
+		if err != nil {
+			t.Fatal(err)
+		}
+		refNet := net
+		if alg.FaultAware() {
+			refNet = shrunk
+		}
+		ref, err := engines.New(alg, refNet, pairs, engines.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := Run(announced, 29, testSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(ref, 29, testSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("announced-but-unrealized plan diverged from the reference run")
+		}
+	})
+}
+
+// TestAwareTwinsMatchBlindWithoutChaos pins the other zero-fault identity:
+// with no injector at all, the fault-aware variants are their fault-blind
+// twins, byte for byte.
+func TestAwareTwinsMatchBlindWithoutChaos(t *testing.T) {
+	net, pairs, err := Instance(testNodes, testPairs, testSeed+7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ aware, blind sched.Algorithm }{
+		{sched.SEEAware, sched.SEE},
+		{sched.ContendAware, sched.Contend},
+	} {
+		t.Run(tc.aware.String(), func(t *testing.T) {
+			ea, err := engines.New(tc.aware, net, pairs, engines.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eb, err := engines.New(tc.blind, net, pairs, engines.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := Run(ea, 31, testSlots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(eb, 31, testSlots)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(a, b) {
+				t.Error("fault-aware variant diverged from its blind twin without chaos")
+			}
+		})
+	}
 }
 
 // TestNilBankIsByteIdentical checks the carry-over layer's disabled path:

@@ -81,10 +81,22 @@ const (
 	// contention-aware engine fired after a primary segment attempt
 	// failed in the physical phase (see internal/contend).
 	IncidentRecovery
+	// IncidentBrownout counts segment-creation attempts denied because a
+	// browned-out link's reduced per-slot channel budget was exhausted
+	// (see internal/chaos Brownout).
+	IncidentBrownout
+	// IncidentFlap counts (link, slot) down pairs injected by link
+	// flapping (see internal/chaos Flap).
+	IncidentFlap
+	// IncidentForecastAvoid counts the announced network elements (nodes,
+	// links) a fault-aware planner excluded or de-rated this slot because
+	// the fault plan scheduled their outage in advance (see
+	// chaos.Forecast); it fires every slot the forecast is non-empty.
+	IncidentForecastAvoid
 )
 
 // NumIncidents is the number of incident kinds.
-const NumIncidents = 9
+const NumIncidents = 12
 
 // String implements fmt.Stringer.
 func (i Incident) String() string {
@@ -107,6 +119,12 @@ func (i Incident) String() string {
 		return "bank_decohere"
 	case IncidentRecovery:
 		return "recovery"
+	case IncidentBrownout:
+		return "brownout"
+	case IncidentFlap:
+		return "flap"
+	case IncidentForecastAvoid:
+		return "forecast_avoid"
 	default:
 		return fmt.Sprintf("Incident(%d)", int(i))
 	}

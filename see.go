@@ -54,6 +54,18 @@ const (
 	// best-first under residual channel/memory accounting, with
 	// recovery-path fallback in the physical phase (internal/contend).
 	Contend = sched.Contend
+	// QPass is the offline-routing contrast baseline in the Q-PASS spirit:
+	// candidate paths are fixed from the fault-free topology with per-hop
+	// recovery reserved up front, and announced faults are ignored.
+	QPass = sched.QPass
+	// ContendAware is Contend with fault-forecast subtraction: announced
+	// outages and brownouts are removed from the residual capacities
+	// before any candidate is scored.
+	ContendAware = sched.ContendAware
+	// SEEAware is SEE with fault-forecast subtraction: forecast-dead links
+	// leave the LP's column pricing and announced capacity reductions
+	// shrink the planning tables.
+	SEEAware = sched.SEEAware
 )
 
 // NetworkConfig mirrors the evaluation parameters of §IV-A.
@@ -333,6 +345,12 @@ const (
 	// contention-aware engine fired after a hop's primary segment attempts
 	// all failed (see internal/contend).
 	IncidentRecovery = sched.IncidentRecovery
+	// Correlated-fault events: segment-creation attempts denied by a
+	// brownout's channel budget, link-slots lost to flapping, and the
+	// announced elements a fault-aware planner routed around.
+	IncidentBrownout      = sched.IncidentBrownout
+	IncidentFlap          = sched.IncidentFlap
+	IncidentForecastAvoid = sched.IncidentForecastAvoid
 )
 
 // FaultPlan is a deterministic fault schedule for a scheduler: node crash
@@ -349,7 +367,14 @@ type FaultPlan = chaos.FaultPlan
 // Fields: node=<id>@<from>-<to> crashes a node for a slot window (open
 // ends allowed), link=<id>@... takes a link down, loss=<p> drops control
 // messages with probability p, decohere=<p> destroys created segments
-// with probability p. Windows are inclusive slot ranges.
+// with probability p. Correlated items use ':' and are ';'-separated:
+// cut:x,y,r@<from>-<to> fails every link whose midpoint lies in the disc,
+// brown:link,frac@... keeps frac of a link's channels, and
+// flap:link,period,duty@... oscillates a link with the given duty cycle.
+// A '!' before an item's first value (e.g. node=!3@2-5, brown:!2,0.5)
+// marks it a surprise: it still fires but is hidden from the fault
+// forecast the fault-aware schedulers plan around. Windows are inclusive
+// slot ranges.
 func ParseFaultSpec(s string) (*FaultPlan, error) { return chaos.ParseSpec(s) }
 
 // ParseAlgorithm parses a case-insensitive algorithm name ("see", "reps",
