@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke bench-pr4 chaos-smoke serve-smoke docs-check cover cover-update fuzz-smoke figures
+.PHONY: all build test vet race verify bench bench-smoke bench-pr4 bench-pr9 profile chaos-smoke serve-smoke docs-check cover cover-update fuzz-smoke figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -115,9 +115,14 @@ bench:
 		-baseline BenchmarkColumnGeneration=663402285
 
 # bench-smoke executes each substrate benchmark exactly once — a fast
-# compile-and-run check, not a measurement.
+# compile-and-run check, not a measurement — then guards the warm-start
+# workload against the committed BENCH_PR9.json record: if warm slots/sec
+# drops below 80% of the committed number, the hot path regressed and the
+# target fails (cmd/benchjson -check; docs/PROFILING.md is the follow-up).
 bench-smoke:
 	$(GO) test -bench='ColumnGeneration|LPDenseSolve|YenKShortest' -benchtime=1x -run='^$$' .
+	$(GO) test -bench='WorkloadSlotsWarm' -benchmem -benchtime=3x -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -check BENCH_PR9.json -metric slots/sec -min-ratio 0.8
 
 # bench-pr4 records the cross-slot carry-over workload benchmarks in
 # BENCH_PR4.json; the baseline is BenchmarkWorkloadMemoryless measured on
@@ -127,6 +132,30 @@ bench-pr4:
 	$(GO) test -bench='WorkloadCarryOver|WorkloadMemoryless' -benchmem -benchtime=$(BENCHTIME) -count=3 -timeout 30m -run='^$$' . | \
 		$(GO) run ./cmd/benchjson -out BENCH_PR4.json \
 		-note 'cross-slot entanglement carry-over PR; memoryless workload is the in-file baseline'
+
+# bench-pr9 records the warm-start workload benchmarks in BENCH_PR9.json:
+# the cold variant rebuilds all planning per iteration (the pre-PR-9 cost
+# of every scheduler restart), the warm variant replays the memoized
+# artifacts, and the per-slot benches carry pre-PR ns/op baselines so the
+# scratch-arena gains are readable from the file alone. DESIGN.md §9
+# explains how to read and regenerate the record.
+bench-pr9:
+	$(GO) test -bench='WorkloadSlotsCold|WorkloadSlotsWarm|SlotSEE$$|SlotREPS' -benchmem -benchtime=$(BENCHTIME) -timeout 30m -run='^$$' . | \
+		$(GO) run ./cmd/benchjson -out BENCH_PR9.json \
+		-note 'warm-start PR; cold workload variant is the in-file baseline, per-slot ns/op baselines from commit a564a5e' \
+		-baseline BenchmarkSlotSEE=546727 -baseline BenchmarkSlotREPS=4507219
+
+# profile captures CPU and allocation profiles of the warm workload and
+# prints the top functions of each — the entry point of the workflow in
+# docs/PROFILING.md. Profiles land in /tmp/see-profile for interactive
+# follow-up with `go tool pprof`.
+profile:
+	@mkdir -p /tmp/see-profile
+	$(GO) test -bench='WorkloadSlotsWarm' -benchtime=$(BENCHTIME) -run='^$$' \
+		-cpuprofile /tmp/see-profile/cpu.pprof -memprofile /tmp/see-profile/mem.pprof \
+		-o /tmp/see-profile/see.test .
+	$(GO) tool pprof -top -nodecount=15 /tmp/see-profile/see.test /tmp/see-profile/cpu.pprof
+	$(GO) tool pprof -top -nodecount=15 -sample_index=alloc_space /tmp/see-profile/see.test /tmp/see-profile/mem.pprof
 
 figures:
 	$(GO) run ./cmd/seefig -fig 3

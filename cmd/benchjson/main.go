@@ -11,6 +11,16 @@
 // under "baseline_ns_op"; the tool then reports the speedup of the matching
 // current benchmark. Non-benchmark lines (figure tables, logs) pass through
 // to stderr so the run stays readable.
+//
+// With -check it is a regression guard instead of a recorder: the stdin run
+// is compared against a committed record and the exit status is non-zero if
+// any benchmark present in both degraded past -min-ratio on -metric:
+//
+//	go test -bench=WorkloadSlots -benchtime=1x -run='^$' . |
+//	    go run ./cmd/benchjson -check BENCH_PR9.json -metric slots/sec -min-ratio 0.8
+//
+// ns/op, B/op and allocs/op are lower-is-better; every other metric
+// (slots/sec, custom b.ReportMetric units) is higher-is-better.
 package main
 
 import (
@@ -68,6 +78,9 @@ func main() {
 	baselines := baselineFlag{}
 	out := flag.String("out", "", "output JSON path (default stdout)")
 	note := flag.String("note", "", "free-form note stored in the document")
+	check := flag.String("check", "", "committed benchmark JSON to guard against; exit non-zero on regression")
+	metric := flag.String("metric", "ns/op", "with -check: metric to compare")
+	minRatio := flag.Float64("min-ratio", 0.8, "with -check: minimum current/committed goodness ratio")
 	flag.Var(baselines, "baseline", "pre-change ns/op as Name=value (repeatable)")
 	flag.Parse()
 
@@ -75,6 +88,10 @@ func main() {
 	if len(results) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
 		os.Exit(1)
+	}
+
+	if *check != "" {
+		os.Exit(runCheck(*check, *metric, *minRatio, results))
 	}
 
 	doc := benchFile{
@@ -105,6 +122,70 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(results), *out)
+}
+
+// lowerIsBetter reports whether a smaller metric value is an improvement
+// (the standard go-test cost units; everything else is a rate or score).
+func lowerIsBetter(metric string) bool {
+	return metric == "ns/op" || metric == "B/op" || metric == "allocs/op"
+}
+
+// runCheck compares the parsed run against the committed record and returns
+// the process exit code. A benchmark regresses when its goodness ratio —
+// current/committed for higher-is-better metrics, committed/current for
+// lower-is-better — falls below minRatio. Benchmarks missing on either
+// side are skipped (the guard runs a narrowed -bench pattern); a committed
+// file with no comparable benchmark at all is an error, since that means
+// the guard silently checks nothing.
+func runCheck(path, metric string, minRatio float64, results []benchResult) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	var committed benchFile
+	if err := json.Unmarshal(raw, &committed); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+		return 1
+	}
+	want := make(map[string]float64, len(committed.Benchmarks))
+	for _, r := range committed.Benchmarks {
+		if v, ok := r.Metrics[metric]; ok && v > 0 {
+			want[r.Name] = v
+		}
+	}
+
+	compared, failed := 0, 0
+	for _, r := range results {
+		base, ok := want[r.Name]
+		if !ok {
+			continue
+		}
+		cur, ok := r.Metrics[metric]
+		if !ok || cur <= 0 {
+			continue
+		}
+		ratio := cur / base
+		if lowerIsBetter(metric) {
+			ratio = base / cur
+		}
+		compared++
+		status := "ok"
+		if ratio < minRatio {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Fprintf(os.Stderr, "benchjson: %s %s: committed %.4g, current %.4g (ratio %.2f, floor %.2f) %s\n",
+			r.Name, metric, base, cur, ratio, minRatio, status)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark in the run matches %s on %q — guard checked nothing\n", path, metric)
+		return 1
+	}
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // parse extracts benchmark result lines; everything else is echoed to

@@ -3,9 +3,15 @@
 //
 //  1. every package under internal/ (and the root package) carries a
 //     package comment, so `go doc ./internal/...` always explains the
-//     subsystem, and
+//     subsystem,
 //  2. every flag registered by cmd/seesim appears in README.md's flag
-//     table, so the CLI surface and its documentation cannot drift apart.
+//     table, every `-flag` table row names a live flag (no stale rows
+//     for removed flags), and a row that states a default states the
+//     registered one, so the CLI surface and its documentation cannot
+//     drift apart, and
+//  3. the packages whose API contracts are taught by example (the LP
+//     solver's warm restart, the flow solver's arena reuse) keep at
+//     least one godoc Example, so `go doc` never loses the worked code.
 //
 // It exits non-zero with one line per violation.
 package main
@@ -55,10 +61,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "docscheck:", err)
 		os.Exit(1)
 	}
-	for _, name := range flags {
-		if !strings.Contains(string(readme), "`-"+name) {
-			problems = append(problems,
-				fmt.Sprintf("README.md: seesim flag -%s is not documented in the flag table", name))
+	problems = append(problems, checkFlagTable(string(readme), flags)...)
+
+	// The packages whose contracts are taught by worked godoc Examples
+	// (DESIGN.md §9 links to both).
+	for _, pkg := range []string{"internal/lp", "internal/flow"} {
+		n, err := countExamples(filepath.Join(root, filepath.FromSlash(pkg)))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "docscheck:", err)
+			os.Exit(1)
+		}
+		if n == 0 {
+			problems = append(problems, fmt.Sprintf("%s: package has no godoc Example", pkg))
 		}
 	}
 
@@ -68,8 +82,104 @@ func main() {
 		}
 		os.Exit(1)
 	}
-	fmt.Printf("docscheck: %d packages documented, %d seesim flags covered by README.md\n",
+	fmt.Printf("docscheck: %d packages documented, %d seesim flags matched against README.md's flag table\n",
 		len(pkgDirs), len(flags))
+}
+
+// checkFlagTable diffs README.md's seesim flag table against the flags
+// actually registered: every flag must have a `| `-name ...` |` row, every
+// row must name a live flag, and a row that mentions a default must contain
+// the registered default value.
+func checkFlagTable(readme string, flags []flagDef) []string {
+	var problems []string
+
+	// Table rows look like "| `-nodes <n>` | ... |"; collect name → row.
+	rows := make(map[string]string)
+	for _, line := range strings.Split(readme, "\n") {
+		rest, ok := strings.CutPrefix(line, "| `-")
+		if !ok {
+			continue
+		}
+		name, _, ok := strings.Cut(rest, "`")
+		if !ok {
+			continue
+		}
+		name, _, _ = strings.Cut(name, " ")
+		rows[name] = line
+	}
+
+	registered := make(map[string]bool, len(flags))
+	for _, f := range flags {
+		registered[f.Name] = true
+		row, ok := rows[f.Name]
+		if !ok {
+			problems = append(problems,
+				fmt.Sprintf("README.md: seesim flag -%s has no row in the flag table", f.Name))
+			continue
+		}
+		if f.Default != "" && strings.Contains(row, "default") && !defaultDocumented(row, f.Default) {
+			problems = append(problems,
+				fmt.Sprintf("README.md: row for -%s states a default but not the registered one (%s)",
+					f.Name, f.Default))
+		}
+	}
+	stale := make([]string, 0)
+	for name := range rows {
+		if !registered[name] {
+			stale = append(stale, name)
+		}
+	}
+	sort.Strings(stale)
+	for _, name := range stale {
+		problems = append(problems,
+			fmt.Sprintf("README.md: flag table row for -%s matches no registered seesim flag", name))
+	}
+	return problems
+}
+
+// defaultDocumented reports whether a table row documents the registered
+// default: either the value's source text appears verbatim, or — for bool
+// flags — the idiomatic "on/off by default" prose does.
+func defaultDocumented(row, def string) bool {
+	if strings.Contains(row, def) {
+		return true
+	}
+	lower := strings.ToLower(row)
+	switch def {
+	case "true":
+		return strings.Contains(lower, "on by default")
+	case "false":
+		return strings.Contains(lower, "off by default")
+	}
+	return false
+}
+
+// countExamples counts godoc Example functions in a package directory's
+// test files.
+func countExamples(dir string) (int, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	fset := token.NewFileSet()
+	n := 0
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if ok && fn.Recv == nil && strings.HasPrefix(fn.Name.Name, "Example") {
+				n++
+			}
+		}
+	}
+	return n, nil
 }
 
 // packageDirs returns the root package directory plus every Go package
@@ -119,20 +229,29 @@ func hasPackageComment(dir string) (bool, error) {
 	return found, nil
 }
 
-// seesimFlags extracts the flag names registered via the flag package in
-// the given file — package-level flag.String("name", ...) calls as well as
+// flagDef is one registered seesim flag: its name and, when the
+// registration's default is a plain literal, that default's source text
+// (string literals unquoted; empty when the default is a computed
+// expression and cannot be compared against prose).
+type flagDef struct {
+	Name    string
+	Default string
+}
+
+// seesimFlags extracts the flags registered via the flag package in the
+// given file — package-level flag.String("name", ...) calls as well as
 // method calls on a *flag.FlagSet variable named fs (the testable-main
 // pattern: fs := flag.NewFlagSet(...); fs.String("name", ...)).
-func seesimFlags(path string) ([]string, error) {
+func seesimFlags(path string) ([]flagDef, error) {
 	fset := token.NewFileSet()
 	f, err := parser.ParseFile(fset, path, nil, 0)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
+	var flags []flagDef
 	ast.Inspect(f, func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
-		if !ok || len(call.Args) == 0 {
+		if !ok || len(call.Args) < 2 {
 			return true
 		}
 		sel, ok := call.Fun.(*ast.SelectorExpr)
@@ -152,14 +271,41 @@ func seesimFlags(path string) ([]string, error) {
 		if !ok || lit.Kind != token.STRING {
 			return true
 		}
-		if name, err := strconv.Unquote(lit.Value); err == nil {
-			names = append(names, name)
+		name, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
 		}
+		flags = append(flags, flagDef{Name: name, Default: defaultText(call.Args[1])})
 		return true
 	})
-	if len(names) == 0 {
+	if len(flags) == 0 {
 		return nil, fmt.Errorf("%s: no flag registrations found (parser out of date?)", path)
 	}
-	sort.Strings(names)
-	return names, nil
+	sort.Slice(flags, func(i, j int) bool { return flags[i].Name < flags[j].Name })
+	return flags, nil
+}
+
+// defaultText renders a flag registration's default argument for prose
+// comparison: literals as written (strings unquoted), identifiers (true,
+// false) as their name, a negated literal with its sign, anything computed
+// as "" (uncheckable).
+func defaultText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.BasicLit:
+		if v.Kind == token.STRING {
+			s, err := strconv.Unquote(v.Value)
+			if err != nil {
+				return ""
+			}
+			return s
+		}
+		return v.Value
+	case *ast.Ident:
+		return v.Name
+	case *ast.UnaryExpr:
+		if lit, ok := v.X.(*ast.BasicLit); ok && v.Op == token.SUB {
+			return "-" + lit.Value
+		}
+	}
+	return ""
 }

@@ -55,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		jsonl      = fs.String("trace-jsonl", "", "stream every pipeline event as JSON lines to this file")
 		carry      = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
 		decohere   = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
+		warmStart  = fs.Bool("warm-start", true, "reuse memoized candidate sets and LP solutions across scheduler rebuilds over the same topology (results are byte-identical either way)")
 
 		serveMode = fs.Bool("serve", false, "service mode: run one long-lived instance where an arrival process generates per-user requests with QoS classes and deadlines (-trials is ignored)")
 		arrivals  = fs.String("arrivals", "poisson;rate=2", "service-mode arrival spec, e.g. \"poisson;rate=3;users=200;mix=0.2/0.3/0.5;deadline=4/8/16;max-active=64\"")
@@ -122,6 +123,14 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}()
 	}
 
+	// One cache for the whole run: trials redraw topologies so sim mode
+	// only pays the (cheap) fingerprint lookups, but service mode and any
+	// same-topology rebuild replay their candidate sets and LP solutions.
+	var warmCache *see.WarmCache
+	if *warmStart {
+		warmCache = see.NewWarmCache()
+	}
+
 	if *serveMode {
 		return runServe(serveParams{
 			algs: algs, cfg: cfg, pairs: *pairs, topoName: *topoName,
@@ -129,7 +138,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			workers: *workers, plan: plan, budget: *budget, carry: *carry,
 			decohere: *decohere, trace: *trace, jsonl: jsonlTracer,
 			arrivals: *arrivals, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
-			resume: *resume, dieAt: *dieAt,
+			resume: *resume, dieAt: *dieAt, warm: warmCache,
 		}, stdout, stderr)
 	}
 
@@ -154,6 +163,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 				SlotBudget:       *budget,
 				CarryOver:        *carry,
 				DecoherenceSlots: *decohere,
+				Warm:             warmCache,
 			}
 			var ts []see.Tracer
 			if *trace || countInjected {

@@ -34,6 +34,7 @@ type serveParams struct {
 	ckptEvery int
 	resume    bool
 	dieAt     int
+	warm      *see.WarmCache
 }
 
 // errDied is the sentinel the -die-at crash simulation stops a run with.
@@ -91,6 +92,7 @@ func (p serveParams) serveOne(a see.Algorithm, net *see.Network, sdPairs []see.S
 		SlotBudget:       p.budget,
 		CarryOver:        p.carry,
 		DecoherenceSlots: p.decohere,
+		Warm:             p.warm,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "%v: %v\n", a, err)
@@ -103,6 +105,7 @@ func (p serveParams) serveOne(a see.Algorithm, net *see.Network, sdPairs []see.S
 	}
 	scfg.Seed = p.seed
 	scfg.Tracer = tracer
+	scfg.Warm = p.warm
 	srv, err := see.NewTrafficServer(sc, len(sdPairs), scfg)
 	if err != nil {
 		fmt.Fprintf(stderr, "%v: %v\n", a, err)

@@ -39,6 +39,7 @@ import (
 	"see/internal/segment"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Weights for the candidate-path enumeration on the segment graph, shared
@@ -83,6 +84,10 @@ type Options struct {
 	// routes around; when positive it is reported every slot as
 	// sched.IncidentForecastAvoid.
 	ForecastAvoided int
+	// Warm, when non-nil, memoizes the segment-candidate set across engine
+	// (re)builds over the same network (see internal/warm). The engine
+	// solves no LP, so the candidate build is the only cacheable stage.
+	Warm *warm.Cache
 	// Offline switches planning to the Q-PASS-style offline mode: every
 	// candidate path is scored once against the full fault-free topology
 	// (no contention re-scoring), paths are provisioned in round-robin
@@ -141,6 +146,29 @@ type Engine struct {
 	// bank is the optional cross-slot segment bank; nil keeps the engine
 	// memoryless (see the matching field in core.Engine).
 	bank *state.Bank
+	// slot is the reusable per-slot scratch (attempt ordering, segment
+	// pool, availability and per-pair counters); the same lifetime rule as
+	// core.slotScratch applies — nothing in it may outlive the slot.
+	slot *slotScratch
+}
+
+// slotScratch holds the contention engine's per-slot reusable buffers.
+type slotScratch struct {
+	att     qnet.AttemptScratch
+	pool    *qnet.Pool
+	perPair []int
+	avail   map[segment.PairKey]int
+}
+
+// scratch returns the engine's slot scratch, creating it on first use.
+func (e *Engine) scratch() *slotScratch {
+	if e.slot == nil {
+		e.slot = &slotScratch{
+			perPair: make([]int, len(e.Pairs)),
+			avail:   make(map[segment.PairKey]int),
+		}
+	}
+	return e.slot
 }
 
 var _ sched.Stateful = (*Engine)(nil)
@@ -167,7 +195,13 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	if opts.Algorithm == 0 {
 		opts.Algorithm = sched.Contend
 	}
-	set, err := segment.Build(net, pairs, opts.Segment)
+	var set *segment.Set
+	var err error
+	if opts.Warm != nil {
+		set, err = opts.Warm.SegmentSet(net, pairs, opts.Segment)
+	} else {
+		set, err = segment.Build(net, pairs, opts.Segment)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("contend: building candidates: %w", err)
 	}
@@ -613,7 +647,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
+	sc := e.scratch()
+	created := qnet.AttemptAllFaultyScratch(plan, rng, fm, attemptObs, &sc.att)
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 
@@ -621,7 +656,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// (withdrawn carried segments count too) and fire the reserved
 	// recovery attempts of hops left with nothing, in deterministic path
 	// order. Recovery segments face the same decoherence stream.
-	avail := make(map[segment.PairKey]int)
+	avail := sc.avail
+	clear(avail)
 	for _, s := range withdrawn {
 		avail[s.Pair()]++
 	}
@@ -667,9 +703,16 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// Stitch: withdrawn carried segments join the pool ahead of the fresh
 	// ones so the oldest photons are consumed preferentially.
 	t0 = time.Now()
-	pool := qnet.NewPool(append(withdrawn, created...))
+	slotSegs := append(withdrawn, created...)
+	if sc.pool == nil {
+		sc.pool = qnet.NewPool(slotSegs)
+	} else {
+		sc.pool.Reset(slotSegs)
+	}
+	pool := sc.pool
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
-	perPair := make([]int, len(e.Pairs))
+	perPair := sc.perPair
+	clear(perPair)
 	for {
 		progress := false
 		for _, pp := range e.paths {

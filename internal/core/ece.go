@@ -45,7 +45,23 @@ func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet
 // with the slot's fresh ones and so the engine can deposit the pool's
 // unconsumed leftovers into the state bank afterwards.
 func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
-	perPair := make([]int, len(e.Pairs))
+	return e.establishFromPoolScratch(provisioned, pool, rng, nil)
+}
+
+// establishFromPoolScratch is establishFromPool over an optional slot
+// scratch: the per-pair counters, the auxiliary stitch graph and the
+// Dijkstra buffers are recycled across slots, and the per-pair queries run
+// the early-stop targeted Dijkstra (identical result, less work). The
+// established connections are always freshly allocated — they outlive the
+// slot.
+func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) (established []*qnet.Connection, attempts int) {
+	var perPair []int
+	if sc != nil {
+		perPair = sc.perPair
+		clear(perPair)
+	} else {
+		perPair = make([]int, len(e.Pairs))
+	}
 	var out []*qnet.Connection
 	tr := e.tracer
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
@@ -89,7 +105,7 @@ func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, r
 	}
 
 	// Lines 7–15: auxiliary graph over realized segments.
-	aux, auxPairs := e.buildAuxGraph(pool)
+	aux, auxPairs := e.buildAuxGraph(pool, sc)
 	nodeWeight := func(u int) float64 {
 		q := e.Net.SwapProb[u]
 		if q <= 0 {
@@ -103,6 +119,10 @@ func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, r
 		}
 		return eceMissingWeight
 	}
+	var dij *graph.DijkstraScratch
+	if sc != nil {
+		dij = &sc.dij
+	}
 
 	for {
 		progress := false
@@ -110,10 +130,10 @@ func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, r
 			if perPair[i] >= e.ConnCap[i] {
 				continue
 			}
-			path, dist := graph.ShortestPath(aux, sd.S, sd.D, graph.DijkstraOptions{
+			path, dist := graph.ShortestPathTarget(aux, sd.S, sd.D, graph.DijkstraOptions{
 				NodeWeight: nodeWeight,
 				EdgeWeight: edgeWeight,
-			})
+			}, dij)
 			if path == nil || dist >= eceRejectThreshold {
 				continue
 			}
@@ -149,14 +169,29 @@ func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, r
 }
 
 // buildAuxGraph returns a graph with one edge per endpoint pair that has at
-// least one realized segment, plus the pair keyed by edge ID.
-func (e *Engine) buildAuxGraph(pool *qnet.Pool) (*graph.Graph, []segment.PairKey) {
-	g := graph.New(e.Net.NumNodes())
+// least one realized segment, plus the pair keyed by edge ID. With a
+// non-nil scratch the graph and the pair table are rebuilt in place over
+// the previous slot's backing arrays.
+func (e *Engine) buildAuxGraph(pool *qnet.Pool, sc *slotScratch) (*graph.Graph, []segment.PairKey) {
+	var g *graph.Graph
+	var auxPairs []segment.PairKey
+	if sc != nil {
+		g = sc.aux
+		g.Reset()
+		auxPairs = sc.auxPairs[:0]
+	} else {
+		g = graph.New(e.Net.NumNodes())
+	}
 	pairs := pool.Pairs()
-	auxPairs := make([]segment.PairKey, 0, len(pairs))
+	if auxPairs == nil {
+		auxPairs = make([]segment.PairKey, 0, len(pairs))
+	}
 	for _, pk := range pairs {
 		g.AddEdge(pk.U, pk.V, eceAvailableWeight)
 		auxPairs = append(auxPairs, pk)
+	}
+	if sc != nil {
+		sc.auxPairs = auxPairs
 	}
 	return g, auxPairs
 }

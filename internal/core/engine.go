@@ -30,6 +30,7 @@ import (
 	"see/internal/segment"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Options configures a SEE engine.
@@ -70,6 +71,12 @@ type Options struct {
 	// routes around; when positive it is reported every slot as
 	// sched.IncidentForecastAvoid.
 	ForecastAvoided int
+	// Warm, when non-nil, memoizes segment sets and LP solutions across
+	// engine (re)builds over the same network (see internal/warm). Replayed
+	// artifacts are byte-identical to cold builds; the cache is bypassed
+	// entirely for budgeted construction (non-nil ctx) so degradation
+	// behavior is cache-independent.
+	Warm *warm.Cache
 }
 
 // DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
@@ -103,6 +110,11 @@ type Engine struct {
 	// keeps the engine memoryless and byte-identical to pre-carry-over
 	// behavior.
 	bank *state.Bank
+	// slot is the reusable per-slot scratch (see scratch.go); epiPaths and
+	// epiWeights are the lazily derived EPI tables of the fixed LP.
+	slot       *slotScratch
+	epiPaths   [][]flow.PathFlow
+	epiWeights [][]float64
 }
 
 var _ sched.Stateful = (*Engine)(nil)
@@ -124,7 +136,16 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 	if len(pairs) == 0 {
 		return nil, errors.New("core: no SD pairs")
 	}
-	set, err := segment.Build(net, pairs, opts.Segment)
+	// Budgeted construction (non-nil ctx) bypasses the warm cache so
+	// timeout behavior never depends on what some earlier build memoized.
+	useWarm := opts.Warm != nil && ctx == nil
+	var set *segment.Set
+	var err error
+	if useWarm {
+		set, err = opts.Warm.SegmentSet(net, pairs, opts.Segment)
+	} else {
+		set, err = segment.Build(net, pairs, opts.Segment)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: building candidates: %w", err)
 	}
@@ -149,7 +170,12 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 		}
 		opts.Flow.ConnCap = connCap
 	}
-	sol, err := flow.SolveCtx(ctx, set, opts.Flow)
+	var sol *flow.Solution
+	if useWarm {
+		sol, err = opts.Warm.Solve(set, opts.Flow)
+	} else {
+		sol, err = flow.SolveCtx(ctx, set, opts.Flow)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: solving LP relaxation: %w", err)
 	}
@@ -243,9 +269,12 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	}
 	tr.PhaseDone(sched.PhasePlan, time.Since(t0))
 
-	// Step ii: ESC reserves the segment-creation attempts.
+	// Step ii: ESC reserves the segment-creation attempts. RunSlot reuses
+	// the engine's slot scratch (ledger, coverage tables, attempt plan);
+	// PlanSlot allocates fresh because its plan escapes to the caller.
 	t0 = time.Now()
-	plan, provisioned, err := e.createSegmentsPlan(planned)
+	sc := e.scratch()
+	plan, provisioned, err := e.createSegmentsPlanScratch(planned, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -272,7 +301,7 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
+	created := qnet.AttemptAllFaultyScratch(plan, rng, fm, attemptObs, &sc.att)
 	res.SegmentsCreated = len(created)
 	// Memory decoherence loses realized segments before the stitch phase;
 	// SegmentsCreated still reconciles with the created=true attempt
@@ -302,8 +331,14 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// segments join the pool ahead of the fresh ones so the oldest photons
 	// are consumed preferentially.
 	t0 = time.Now()
-	pool := qnet.NewPool(append(withdrawn, created...))
-	conns, attempts := e.establishFromPool(provisioned, pool, rng)
+	slotSegs := append(withdrawn, created...)
+	if sc.pool == nil {
+		sc.pool = qnet.NewPool(slotSegs)
+	} else {
+		sc.pool.Reset(slotSegs)
+	}
+	pool := sc.pool
+	conns, attempts := e.establishFromPoolScratch(provisioned, pool, rng, sc)
 	res.Assembled = attempts
 
 	for _, c := range conns {

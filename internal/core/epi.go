@@ -30,10 +30,9 @@ type PlannedPath struct {
 // sample each connection's path with probability flow(P)/T_i, exactly
 // Algorithm 1's second rounding.
 func (e *Engine) identifyPaths(rng *rand.Rand) []PlannedPath {
-	perCommodity := make([][]flow.PathFlow, len(e.Pairs))
-	for _, pf := range e.LP.Paths {
-		perCommodity[pf.Commodity] = append(perCommodity[pf.Commodity], pf)
-	}
+	// The per-commodity grouping and sampling weights are pure functions of
+	// the fixed LP solution, derived once at first call instead of per slot.
+	perCommodity, allWeights := e.epiTables()
 	var out []PlannedPath
 	for i, paths := range perCommodity {
 		if len(paths) == 0 {
@@ -50,10 +49,7 @@ func (e *Engine) identifyPaths(rng *rand.Rand) []PlannedPath {
 		if count > e.ConnCap[i] {
 			count = e.ConnCap[i]
 		}
-		weights := make([]float64, len(paths))
-		for j, pf := range paths {
-			weights[j] = pf.Flow
-		}
+		weights := allWeights[i]
 		for n := 0; n < count; n++ {
 			j := xrand.WeightedIndex(rng, weights)
 			if j < 0 {

@@ -3,9 +3,16 @@ package core
 import (
 	"sort"
 
+	"see/internal/par"
 	"see/internal/qnet"
 	"see/internal/segment"
 )
+
+// escParallelThreshold is the minimum number of active segment pairs
+// before a backup-provisioning round fans its reservation scans out to
+// the parallel precompute; below it the coordination cost outweighs the
+// scan work.
+const escParallelThreshold = 16
 
 // createSegmentsPlan implements Algorithm 2 (ESC): it orders the planned
 // entanglement paths, then reserves the minimum quantum resources so that
@@ -15,19 +22,45 @@ import (
 // demand cannot be covered releases everything reserved on its behalf.
 //
 // It returns the attempt plan {x^k_uv} and the provisioned path set D.
+// Everything it returns is freshly allocated — PlanSlot hands the plan to
+// the protocol layer, where it outlives the slot.
 func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []PlannedPath, error) {
+	return e.createSegmentsPlanScratch(planned, nil)
+}
+
+// createSegmentsPlanScratch is createSegmentsPlan over an optional slot
+// scratch. With a non-nil scratch the ledger, the attempt plan and the
+// coverage tables are recycled from the previous slot (the returned plan
+// aliases sc.plan, so it is only valid until the next slot — RunSlot
+// consumes it in-slot); with nil everything is allocated fresh. Both paths
+// run the identical reservation sequence.
+func (e *Engine) createSegmentsPlanScratch(planned []PlannedPath, sc *slotScratch) (qnet.AttemptPlan, []PlannedPath, error) {
 	ordered := orderPaths(planned)
 
 	// Fault-aware planning reserves against the forecast-shrunk capacities
 	// (nil overrides keep the network tables).
-	ledger := qnet.NewLedgerWithCapacities(e.Net, e.opts.PlanChannels, e.opts.PlanMemory)
-	plan := make(qnet.AttemptPlan)
+	var ledger *qnet.Ledger
+	var plan qnet.AttemptPlan
 	// expected[pk] = Σ_k p^k·x^k currently reserved for the pair;
 	// demand[pk] = paths in D using the pair;
 	// attempts[pk] = Σ_k x^k currently reserved for the pair.
-	expected := make(map[segment.PairKey]float64)
-	demand := make(map[segment.PairKey]int)
-	attempts := make(map[segment.PairKey]int)
+	var expected map[segment.PairKey]float64
+	var demand, attempts map[segment.PairKey]int
+	if sc != nil {
+		ledger = sc.ledger
+		ledger.Reset()
+		plan, expected, demand, attempts = sc.plan, sc.expected, sc.demand, sc.attempts
+		clear(plan)
+		clear(expected)
+		clear(demand)
+		clear(attempts)
+	} else {
+		ledger = qnet.NewLedgerWithCapacities(e.Net, e.opts.PlanChannels, e.opts.PlanMemory)
+		plan = make(qnet.AttemptPlan)
+		expected = make(map[segment.PairKey]float64)
+		demand = make(map[segment.PairKey]int)
+		attempts = make(map[segment.PairKey]int)
+	}
 
 	var provisioned []PlannedPath
 	for _, p := range ordered {
@@ -95,11 +128,17 @@ func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []
 	// segments the provisioned paths demand, topping up the least-covered
 	// segments first so availability is equalized.
 	if len(provisioned) > 0 {
-		keys := make([]segment.PairKey, 0, len(demand))
+		var keys []segment.PairKey
+		if sc != nil {
+			keys = sc.keys[:0]
+		}
 		for pk, d := range demand {
 			if d > 0 {
 				keys = append(keys, pk)
 			}
+		}
+		if sc != nil {
+			sc.keys = keys
 		}
 		for {
 			sort.Slice(keys, func(i, j int) bool {
@@ -113,19 +152,9 @@ func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []
 				}
 				return keys[i].V < keys[j].V
 			})
-			reserved := 0
-			for _, pk := range keys {
-				cand := e.bestReservable(pk, ledger)
-				if cand == nil {
-					continue
-				}
-				if err := ledger.Reserve(cand); err != nil {
-					return nil, nil, err
-				}
-				plan[cand]++
-				expected[pk] += cand.Prob
-				attempts[pk]++
-				reserved++
+			reserved, err := e.backupRound(keys, ledger, plan, expected, attempts, sc)
+			if err != nil {
+				return nil, nil, err
 			}
 			if reserved == 0 {
 				break
@@ -139,15 +168,83 @@ func (e *Engine) createSegmentsPlan(planned []PlannedPath) (qnet.AttemptPlan, []
 	return plan, provisioned, nil
 }
 
+// backupRound performs one backup-provisioning pass over the sorted pair
+// keys: for each pair, reserve its best reservable candidate (if any).
+//
+// When the engine is configured for parallel pricing and the pair set is
+// large enough, the per-pair candidate scans — the round's dominant cost,
+// each a read-only walk over Set.ByPair — are precomputed in parallel
+// against the ledger state frozen at round start, then applied serially in
+// key order. The outcome is provably the serial one: resources only shrink
+// during the apply, so a pair whose precomputed scan found nothing still
+// finds nothing (skip), a precomputed candidate that is still reservable
+// is exactly the serial choice (all earlier candidates were unreservable
+// at round start and remain so), and a precomputed candidate that is no
+// longer reservable restarts the serial scan at the next index.
+func (e *Engine) backupRound(keys []segment.PairKey, ledger *qnet.Ledger,
+	plan qnet.AttemptPlan, expected map[segment.PairKey]float64,
+	attempts map[segment.PairKey]int, sc *slotScratch) (int, error) {
+
+	parallel := sc != nil && e.opts.Flow.Workers != 1 && len(keys) >= escParallelThreshold
+	var pre []escCandidate
+	if parallel {
+		if cap(sc.escPre) < len(keys) {
+			sc.escPre = make([]escCandidate, len(keys))
+		}
+		pre = sc.escPre[:len(keys)]
+		par.For(e.opts.Flow.Workers, len(keys), func(i int) {
+			cand, idx := e.bestReservableFrom(keys[i], ledger, 0)
+			pre[i] = escCandidate{cand: cand, idx: idx}
+		})
+	}
+
+	reserved := 0
+	for i, pk := range keys {
+		var cand *segment.Candidate
+		if parallel {
+			p := pre[i]
+			if p.cand == nil {
+				continue
+			}
+			cand = p.cand
+			if !ledger.CanReserve(cand) {
+				cand, _ = e.bestReservableFrom(pk, ledger, p.idx+1)
+			}
+		} else {
+			cand = e.bestReservable(pk, ledger)
+		}
+		if cand == nil {
+			continue
+		}
+		if err := ledger.Reserve(cand); err != nil {
+			return 0, err
+		}
+		plan[cand]++
+		expected[pk] += cand.Prob
+		attempts[pk]++
+		reserved++
+	}
+	return reserved, nil
+}
+
 // bestReservable returns the highest-probability candidate for the pair
 // that the ledger can still accommodate, or nil.
 func (e *Engine) bestReservable(pk segment.PairKey, ledger *qnet.Ledger) *segment.Candidate {
-	for _, cand := range e.Set.ByPair[pk] {
-		if ledger.CanReserve(cand) {
-			return cand
+	cand, _ := e.bestReservableFrom(pk, ledger, 0)
+	return cand
+}
+
+// bestReservableFrom is bestReservable starting the scan at index from in
+// the pair's candidate list, also returning the winning index (len of the
+// list when nothing is reservable).
+func (e *Engine) bestReservableFrom(pk segment.PairKey, ledger *qnet.Ledger, from int) (*segment.Candidate, int) {
+	cands := e.Set.ByPair[pk]
+	for i := from; i < len(cands); i++ {
+		if ledger.CanReserve(cands[i]) {
+			return cands[i], i
 		}
 	}
-	return nil
+	return nil, len(cands)
 }
 
 // orderPaths implements ESC's ordering: increasing path length (segment

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"see/internal/flow"
+	"see/internal/graph"
+	"see/internal/qnet"
+	"see/internal/segment"
+)
+
+// slotScratch holds the per-slot reusable buffers of the RunSlot pipeline.
+// One instance lives on the Engine and is recycled every slot, so the
+// steady-state slot loop performs no ledger/map/graph re-allocation. The
+// arena lifetime rule (DESIGN.md §9): scratch may only hold state that is
+// dead by slot end — anything that can outlive the slot (realized
+// segments, connections, the attempt plan handed out by PlanSlot) is
+// allocated fresh. PlanSlot therefore runs with a nil scratch.
+type slotScratch struct {
+	// ESC: reservation ledger (Reset per slot) and coverage tables.
+	ledger   *qnet.Ledger
+	plan     qnet.AttemptPlan
+	expected map[segment.PairKey]float64
+	demand   map[segment.PairKey]int
+	attempts map[segment.PairKey]int
+	keys     []segment.PairKey
+	escPre   []escCandidate
+
+	// Physical phase: candidate ordering buffer.
+	att qnet.AttemptScratch
+
+	// ECE: segment pool, per-pair counters, auxiliary stitch graph and the
+	// targeted-Dijkstra buffers.
+	pool     *qnet.Pool
+	perPair  []int
+	aux      *graph.Graph
+	auxPairs []segment.PairKey
+	dij      graph.DijkstraScratch
+}
+
+// escCandidate is one precomputed backup-provisioning choice: the best
+// reservable candidate for a pair at round start and its index in the
+// ByPair list (the optimistic parallel scan's serial-fallback start).
+type escCandidate struct {
+	cand *segment.Candidate
+	idx  int
+}
+
+// scratch returns the engine's slot scratch, creating it on first use.
+func (e *Engine) scratch() *slotScratch {
+	if e.slot == nil {
+		e.slot = &slotScratch{
+			ledger:   qnet.NewLedgerWithCapacities(e.Net, e.opts.PlanChannels, e.opts.PlanMemory),
+			plan:     make(qnet.AttemptPlan),
+			expected: make(map[segment.PairKey]float64),
+			demand:   make(map[segment.PairKey]int),
+			attempts: make(map[segment.PairKey]int),
+			perPair:  make([]int, len(e.Pairs)),
+			aux:      graph.New(e.Net.NumNodes()),
+		}
+	}
+	return e.slot
+}
+
+// epiTables returns the per-commodity path lists and sampling weights of
+// the fixed LP solution, derived once on first use: the solution never
+// changes after construction, so re-deriving them every slot (the old
+// behavior) was pure allocation churn.
+func (e *Engine) epiTables() ([][]flow.PathFlow, [][]float64) {
+	if e.epiPaths == nil {
+		e.epiPaths = make([][]flow.PathFlow, len(e.Pairs))
+		for _, pf := range e.LP.Paths {
+			e.epiPaths[pf.Commodity] = append(e.epiPaths[pf.Commodity], pf)
+		}
+		e.epiWeights = make([][]float64, len(e.Pairs))
+		for i, paths := range e.epiPaths {
+			if len(paths) == 0 {
+				continue
+			}
+			w := make([]float64, len(paths))
+			for j, pf := range paths {
+				w[j] = pf.Flow
+			}
+			e.epiWeights[i] = w
+		}
+	}
+	return e.epiPaths, e.epiWeights
+}

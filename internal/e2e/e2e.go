@@ -15,6 +15,7 @@ import (
 	"see/internal/sched"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Options tunes the baseline.
@@ -33,6 +34,10 @@ type Options struct {
 	// Chaos injects deterministic faults into the physical phase; see the
 	// matching field in core.Options.
 	Chaos *chaos.Injector
+	// Warm memoizes candidate sets and LP solutions across rebuilds; see
+	// the matching field in core.Options. E2E's restricted segment options
+	// key its cache entries separately from full SEE's.
+	Warm *warm.Cache
 }
 
 // Engine runs E2E time slots.
@@ -61,6 +66,7 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 	coreOpts.Flow.Workers = opts.Workers
 	coreOpts.Tracer = opts.Tracer
 	coreOpts.Chaos = opts.Chaos
+	coreOpts.Warm = opts.Warm
 	inner, err := core.NewEngineCtx(ctx, net, pairs, coreOpts)
 	if err != nil {
 		return nil, err

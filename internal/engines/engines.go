@@ -30,6 +30,7 @@ import (
 	"see/internal/sched"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Config tunes an engine; the zero value selects paper defaults for every
@@ -60,6 +61,12 @@ type Config struct {
 	// phase; nil (or a zero-plan injector) leaves engines byte-identical
 	// to a run without the chaos layer.
 	Chaos *chaos.Injector
+	// Warm, when non-nil, memoizes segment-candidate sets and LP solutions
+	// across engine (re)builds over the same network (see internal/warm).
+	// Every replayed artifact is byte-identical to a cold build, and
+	// budgeted construction (a non-nil ctx) bypasses the cache, so enabling
+	// it never changes results — only how fast rebuilds go.
+	Warm *warm.Cache
 }
 
 // Builder constructs one scheme's engine; ctx (nil = never cancelled)
@@ -127,17 +134,18 @@ func newSEE(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Con
 	co.Flow.Workers = cfg.Workers
 	co.Tracer = cfg.Tracer
 	co.Chaos = cfg.Chaos
+	co.Warm = cfg.Warm
 	return core.NewEngineCtx(ctx, net, pairs, co)
 }
 
 func newREPS(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer, Chaos: cfg.Chaos}
+	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm}
 	o.Flow.Workers = cfg.Workers
 	return reps.NewEngineCtx(ctx, net, pairs, o)
 }
 
 func newE2E(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos})
+	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm})
 }
 
 func newContend(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
@@ -160,6 +168,7 @@ func contendOptions(cfg Config) contend.Options {
 	}
 	o.Tracer = cfg.Tracer
 	o.Chaos = cfg.Chaos
+	o.Warm = cfg.Warm
 	return o
 }
 
@@ -201,6 +210,7 @@ func newSEEAware(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cf
 	co.Flow.Workers = cfg.Workers
 	co.Tracer = cfg.Tracer
 	co.Chaos = cfg.Chaos
+	co.Warm = cfg.Warm
 	co.Algorithm = sched.SEEAware
 	co.PlanChannels, co.PlanMemory, co.ForecastAvoided = forecastTables(cfg.Chaos, net)
 	// Always on (not gated on a non-zero forecast) so planning on a full
@@ -241,6 +251,7 @@ func newGreedy(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Co
 	}
 	o.Tracer = cfg.Tracer
 	o.Chaos = cfg.Chaos
+	o.Warm = cfg.Warm
 	return greedy.NewEngine(net, pairs, o)
 }
 

@@ -118,6 +118,58 @@ type Options struct {
 	// deterministic: the same inputs yield a byte-identical Solution at
 	// any worker count.
 	Workers int
+	// Arena, when non-nil, carries the dual-independent candidate tables
+	// and per-worker pricing scratch across sequential solves over the
+	// same segment set (REPS's progressive rounding re-solves the LP up
+	// to six times per engine build). Reuse never alters results: the
+	// tables are pure functions of (set, options) and the arena is
+	// bypassed whenever those inputs differ. An Arena must not be shared
+	// by concurrent solves.
+	Arena *Arena
+}
+
+// Arena is the reusable column-pool state of Options.Arena. Its zero value
+// is ready; see DESIGN.md §9 for the arena lifetime rules.
+type Arena struct {
+	set      *segment.Set
+	dropDead bool
+	// channels/memory are the capacity overrides in effect when the tables
+	// were built; they only affect the tables when dropDead is set (dead
+	// candidates are excluded from the column space), so they are only
+	// compared then.
+	channels []int
+	memory   []int
+
+	factors      [][]float64
+	candLinkRows [][][]int32
+	pairMemRows  [][2]int32
+	negLogQ      []float64
+	hasNegLogQ   bool
+	price        []*priceScratch
+}
+
+// tablesValid reports whether the arena's cached candidate tables were
+// built from exactly the inputs the current solve would use.
+func (a *Arena) tablesValid(set *segment.Set, opts Options) bool {
+	if a.set != set || a.factors == nil || a.dropDead != opts.DropDeadLinks {
+		return false
+	}
+	if !a.dropDead {
+		return true
+	}
+	return intSlicesEqual(a.channels, opts.Channels) && intSlicesEqual(a.memory, opts.Memory)
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (o Options) withDefaults(set *segment.Set) Options {
@@ -327,13 +379,28 @@ func (m *model) layoutRows() {
 // once here.
 func (m *model) buildCandidateTables() {
 	n := len(m.set.EdgePairs)
-	m.factors = make([][]float64, n)
-	m.candLinkRows = make([][][]int32, n)
-	m.pairMemRows = make([][2]int32, n)
 	m.bestCost = make([]float64, n)
 	m.bestCand = make([]*segment.Candidate, n)
 	m.bestCandIdx = make([]int32, n)
 	m.bestFactor = make([]float64, n)
+	if a := m.opts.Arena; a != nil && a.tablesValid(m.set, m.opts) {
+		// The tables are pure functions of (set, DropDeadLinks overrides):
+		// replaying them is bit-identical to rebuilding.
+		m.factors = a.factors
+		m.candLinkRows = a.candLinkRows
+		m.pairMemRows = a.pairMemRows
+		if m.opts.SwapWeightedObjective && a.hasNegLogQ {
+			m.negLogQ = a.negLogQ
+		} else if m.opts.SwapWeightedObjective {
+			m.buildNegLogQ()
+			a.negLogQ, a.hasNegLogQ = m.negLogQ, true
+		}
+		m.price = a.price
+		return
+	}
+	m.factors = make([][]float64, n)
+	m.candLinkRows = make([][][]int32, n)
+	m.pairMemRows = make([][2]int32, n)
 	dead := func(c *segment.Candidate) bool { return false }
 	if m.opts.DropDeadLinks {
 		channels := m.opts.Channels
@@ -375,13 +442,34 @@ func (m *model) buildCandidateTables() {
 		m.pairMemRows[id] = [2]int32{int32(m.memRow[pk.U]), int32(m.memRow[pk.V])}
 	}
 	if m.opts.SwapWeightedObjective {
-		m.negLogQ = make([]float64, m.set.Net.NumNodes())
-		for v, q := range m.set.Net.SwapProb {
-			if q <= 0 {
-				m.negLogQ[v] = math.Inf(1)
-			} else {
-				m.negLogQ[v] = -math.Log(q)
-			}
+		m.buildNegLogQ()
+	}
+	if a := m.opts.Arena; a != nil {
+		a.set = m.set
+		a.dropDead = m.opts.DropDeadLinks
+		a.channels = append(a.channels[:0], m.opts.Channels...)
+		a.memory = append(a.memory[:0], m.opts.Memory...)
+		if m.opts.Channels == nil {
+			a.channels = nil
+		}
+		if m.opts.Memory == nil {
+			a.memory = nil
+		}
+		a.factors = m.factors
+		a.candLinkRows = m.candLinkRows
+		a.pairMemRows = m.pairMemRows
+		a.negLogQ, a.hasNegLogQ = m.negLogQ, m.opts.SwapWeightedObjective
+		m.price = a.price
+	}
+}
+
+func (m *model) buildNegLogQ() {
+	m.negLogQ = make([]float64, m.set.Net.NumNodes())
+	for v, q := range m.set.Net.SwapProb {
+		if q <= 0 {
+			m.negLogQ[v] = math.Inf(1)
+		} else {
+			m.negLogQ[v] = -math.Log(q)
 		}
 	}
 }
@@ -484,8 +572,13 @@ func (m *model) priceRealizations(ctx context.Context, duals []float64) error {
 // A cancelled ctx aborts the pricing and returns ctx.Err().
 func (m *model) priceColumns(ctx context.Context, duals []float64, eps float64, out []pricedPath) error {
 	n := len(m.set.Pairs)
-	if m.price == nil {
-		m.price = make([]*priceScratch, par.Resolve(m.opts.Workers, n))
+	if need := par.Resolve(m.opts.Workers, n); len(m.price) < need {
+		// May hold a shorter arena-carried slice from a solve with fewer
+		// workers; keep the existing scratches and grow.
+		m.price = append(m.price, make([]*priceScratch, need-len(m.price))...)
+		if a := m.opts.Arena; a != nil {
+			a.price = m.price
+		}
 	}
 	return par.ForWorkerCtx(ctx, m.opts.Workers, n, func(w, i int) {
 		dualI := math.Inf(-1)

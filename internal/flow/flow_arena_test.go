@@ -1,0 +1,117 @@
+package flow
+
+import (
+	"reflect"
+	"testing"
+
+	"see/internal/segment"
+	"see/internal/topo"
+	"see/internal/xrand"
+)
+
+func arenaTestSet(t *testing.T) *segment.Set {
+	t.Helper()
+	cfg := topo.DefaultConfig()
+	cfg.Nodes = 24
+	net, err := topo.Generate(cfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := topo.ChooseSDPairs(net, 3, xrand.New(4))
+	set, err := segment.Build(net, pairs, segment.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// TestArenaResidualSolvesIdentical mimics REPS's progressive rounding: a
+// sequence of solves over the same set with shrinking residual capacities,
+// sharing one arena, must match the cold sequence exactly.
+func TestArenaResidualSolvesIdentical(t *testing.T) {
+	set := arenaTestSet(t)
+	net := set.Net
+
+	residualOpts := func(round int) Options {
+		ch := make([]int, net.NumLinks())
+		for i := range ch {
+			ch[i] = max(0, net.Channels[i]-round)
+		}
+		mem := make([]int, net.NumNodes())
+		for i := range mem {
+			mem[i] = max(0, net.Memory[i]-round)
+		}
+		return Options{Channels: ch, Memory: mem}
+	}
+
+	arena := &Arena{}
+	for round := 0; round < 3; round++ {
+		cold, err := Solve(set, residualOpts(round))
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := residualOpts(round)
+		opts.Arena = arena
+		warm, err := Solve(set, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm, cold) {
+			t.Fatalf("round %d: arena solve differs from cold solve", round)
+		}
+	}
+}
+
+// TestArenaDropDeadLinksInvalidation: the candidate tables depend on the
+// capacity overrides when DropDeadLinks is set, so an arena built under one
+// override must not be replayed under another.
+func TestArenaDropDeadLinksInvalidation(t *testing.T) {
+	set := arenaTestSet(t)
+	net := set.Net
+
+	full := make([]int, net.NumLinks())
+	copy(full, net.Channels)
+	crippled := make([]int, net.NumLinks())
+	copy(crippled, net.Channels)
+	// Kill enough links that the dead-marking visibly changes the tables.
+	for i := 0; i < len(crippled)/2; i++ {
+		crippled[i] = 0
+	}
+
+	arena := &Arena{}
+	if _, err := Solve(set, Options{DropDeadLinks: true, Channels: full, Arena: arena}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(set, Options{DropDeadLinks: true, Channels: crippled, Arena: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := Solve(set, Options{DropDeadLinks: true, Channels: crippled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("stale arena tables replayed across a DropDeadLinks capacity change")
+	}
+}
+
+// TestArenaWorkerGrowth: an arena carried from a serial solve must grow its
+// per-worker pricing scratch when a later solve uses more workers.
+func TestArenaWorkerGrowth(t *testing.T) {
+	set := arenaTestSet(t)
+	arena := &Arena{}
+	cold, err := Solve(set, Options{SwapWeightedObjective: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Solve(set, Options{SwapWeightedObjective: true, Workers: 1, Arena: arena}); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Solve(set, Options{SwapWeightedObjective: true, Workers: 3, Arena: arena})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(warm, cold) {
+		t.Fatal("arena solve at higher worker count differs from cold solve")
+	}
+}

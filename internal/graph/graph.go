@@ -59,6 +59,18 @@ func (g *Graph) AddEdge(u, v int, weight float64) int {
 	return id
 }
 
+// Reset empties the graph in place, keeping the node count and every
+// adjacency list's backing array. Per-slot auxiliary graphs (the ECE
+// stitch graph) are rebuilt through one retained Graph this way, so
+// steady-state slots add edges into already-sized arrays instead of
+// re-growing fresh lists.
+func (g *Graph) Reset() {
+	for u := range g.adj {
+		g.adj[u] = g.adj[u][:0]
+	}
+	g.numEdges = 0
+}
+
 // Neighbors returns the adjacency list of u. The slice is owned by the
 // graph; callers must not mutate it.
 func (g *Graph) Neighbors(u int) []Edge { return g.adj[u] }

@@ -1,0 +1,104 @@
+package graph
+
+import "container/heap"
+
+// DijkstraScratch holds the reusable per-call buffers of a targeted
+// shortest-path query. Engines run thousands of small queries per slot
+// (the ECE stitch loop, REPS's pool selection); keeping one scratch per
+// engine turns the four O(n) allocations per query into zero. The zero
+// value is ready and grows on first use. Not safe for concurrent queries.
+type DijkstraScratch struct {
+	dist     []float64
+	prev     []int
+	prevEdge []int
+	done     []bool
+	pq       priorityQueue
+}
+
+func (sc *DijkstraScratch) reset(n int) {
+	if len(sc.dist) != n {
+		sc.dist = make([]float64, n)
+		sc.prev = make([]int, n)
+		sc.prevEdge = make([]int, n)
+		sc.done = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		sc.dist[i] = Unreachable
+		sc.prev[i] = -1
+		sc.prevEdge[i] = -1
+		sc.done[i] = false
+	}
+	sc.pq = sc.pq[:0]
+}
+
+// ShortestPathTarget is ShortestPath with two observationally transparent
+// optimizations: the search stops as soon as the target is settled (its
+// distance and predecessor chain are final at pop time under non-negative
+// weights, and the chain's nodes are all settled, so the reconstructed
+// path is identical to the full run's), and all working storage comes from
+// sc (nil allocates fresh buffers). Returns (nil, Unreachable) when no
+// path exists.
+func ShortestPathTarget(g *Graph, s, t int, opts DijkstraOptions, sc *DijkstraScratch) (Path, float64) {
+	if sc == nil {
+		sc = &DijkstraScratch{}
+	}
+	n := g.N()
+	sc.reset(n)
+	if s < 0 || s >= n || t < 0 || t >= n {
+		return nil, Unreachable
+	}
+	sc.dist[s] = 0
+	sc.pq = append(sc.pq, pqItem{node: s, dist: 0})
+	pq := &sc.pq
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(pqItem)
+		u := it.node
+		if sc.done[u] {
+			continue
+		}
+		sc.done[u] = true
+		if u == t {
+			break
+		}
+		depart := it.dist
+		if opts.NodeWeight != nil && u != s {
+			depart += opts.NodeWeight(u)
+		}
+		for _, e := range g.Neighbors(u) {
+			if sc.done[e.To] {
+				continue
+			}
+			if opts.Forbidden != nil && opts.Forbidden(e.To) {
+				continue
+			}
+			if opts.ForbiddenEdge != nil && opts.ForbiddenEdge(e.ID) {
+				continue
+			}
+			w := e.Weight
+			if opts.EdgeWeight != nil {
+				w = opts.EdgeWeight(e.ID, e.Weight)
+			}
+			nd := depart + w
+			if nd < sc.dist[e.To] {
+				sc.dist[e.To] = nd
+				sc.prev[e.To] = u
+				sc.prevEdge[e.To] = e.ID
+				heap.Push(pq, pqItem{node: e.To, dist: nd})
+			}
+		}
+	}
+	if sc.dist[t] == Unreachable {
+		return nil, Unreachable
+	}
+	// Reconstruct s→t. Every node on the chain is settled, so the path is
+	// exactly what the full Dijkstra would return.
+	length := 1
+	for v := t; v != s; v = sc.prev[v] {
+		length++
+	}
+	path := make(Path, length)
+	for i, v := length-1, t; i >= 0; i, v = i-1, sc.prev[v] {
+		path[i] = v
+	}
+	return path, sc.dist[t]
+}

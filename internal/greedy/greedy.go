@@ -27,6 +27,7 @@ import (
 	"see/internal/segment"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Pricing constants for the planning shortest path: infeasible edges get a
@@ -51,6 +52,10 @@ type Options struct {
 	// Chaos injects deterministic faults into the physical phase; see the
 	// matching field in core.Options.
 	Chaos *chaos.Injector
+	// Warm, when non-nil, memoizes the segment-candidate set across engine
+	// (re)builds over the same network (see internal/warm). The engine
+	// solves no LP, so the candidate build is the only cacheable stage.
+	Warm *warm.Cache
 }
 
 // DefaultOptions returns the greedy defaults.
@@ -92,6 +97,25 @@ type Engine struct {
 	// bank is the optional cross-slot segment bank; nil keeps the engine
 	// memoryless (see the matching field in core.Engine).
 	bank *state.Bank
+	// slot is the reusable per-slot scratch (attempt ordering, segment
+	// pool, per-pair counters); the same lifetime rule as core.slotScratch
+	// applies — nothing in it may outlive the slot.
+	slot *slotScratch
+}
+
+// slotScratch holds the greedy engine's per-slot reusable buffers.
+type slotScratch struct {
+	att     qnet.AttemptScratch
+	pool    *qnet.Pool
+	perPair []int
+}
+
+// scratch returns the engine's slot scratch, creating it on first use.
+func (e *Engine) scratch() *slotScratch {
+	if e.slot == nil {
+		e.slot = &slotScratch{perPair: make([]int, len(e.Pairs))}
+	}
+	return e.slot
 }
 
 var _ sched.Stateful = (*Engine)(nil)
@@ -114,7 +138,13 @@ func NewEngine(net *topo.Network, pairs []topo.SDPair, opts Options) (*Engine, e
 	if opts.Algorithm == 0 {
 		opts.Algorithm = sched.Greedy
 	}
-	set, err := segment.Build(net, pairs, opts.Segment)
+	var set *segment.Set
+	var err error
+	if opts.Warm != nil {
+		set, err = opts.Warm.SegmentSet(net, pairs, opts.Segment)
+	} else {
+		set, err = segment.Build(net, pairs, opts.Segment)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("greedy: building candidates: %w", err)
 	}
@@ -359,7 +389,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
+	sc := e.scratch()
+	created := qnet.AttemptAllFaultyScratch(plan, rng, fm, attemptObs, &sc.att)
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
@@ -381,9 +412,16 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// Withdrawn carried segments join the pool ahead of the fresh ones so
 	// the oldest photons are consumed preferentially.
 	t0 = time.Now()
-	pool := qnet.NewPool(append(withdrawn, created...))
+	slotSegs := append(withdrawn, created...)
+	if sc.pool == nil {
+		sc.pool = qnet.NewPool(slotSegs)
+	} else {
+		sc.pool.Reset(slotSegs)
+	}
+	pool := sc.pool
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
-	perPair := make([]int, len(e.Pairs))
+	perPair := sc.perPair
+	clear(perPair)
 	for {
 		progress := false
 		for _, pp := range e.paths {

@@ -56,9 +56,19 @@ type PackingSolver struct {
 	// pivots counts total pivots across Solve calls (refactorization
 	// schedule and tests).
 	pivots int
-	// supBuf is pivot's reusable scratch for the nonzero support of the
-	// transformed pivot row.
+	// supBuf/supVal are pivot's reusable scratch for the nonzero support
+	// of the transformed pivot row: indices and, packed densely alongside,
+	// the row values at those indices, so the O(rows × support) update
+	// streams through contiguous memory instead of gathering from the
+	// m-wide pivot row on every pass.
 	supBuf []int32
+	supVal []float64
+	// dirBuf is SolveCtx's reusable entering-direction column B⁻¹·A_j.
+	dirBuf []float64
+	// colBuf is AddColumn's reusable entry-merge scratch.
+	colBuf []Entry
+	// refacBuf is refactorize's reusable m×2m Gauss-Jordan workspace.
+	refacBuf [][]float64
 }
 
 type packedColumn struct {
@@ -105,6 +115,10 @@ func (s *PackingSolver) resetBasis() {
 // NumRows returns the number of rows.
 func (s *PackingSolver) NumRows() int { return s.m }
 
+// Pivots returns the total simplex pivots performed across all Solve calls
+// — the direct measure of how much work a warm-started re-solve skipped.
+func (s *PackingSolver) Pivots() int { return s.pivots }
+
 // NumCols returns the number of structural columns.
 func (s *PackingSolver) NumCols() int { return len(s.col) }
 
@@ -115,7 +129,6 @@ func (s *PackingSolver) AddColumn(obj float64, entries []Entry) (int, error) {
 	if math.IsNaN(obj) || math.IsInf(obj, 0) {
 		return 0, errors.New("lp: non-finite objective coefficient")
 	}
-	merged := make(map[int]float64, len(entries))
 	for _, e := range entries {
 		if e.Index < 0 || e.Index >= s.m {
 			return 0, fmt.Errorf("lp: column entry row %d out of range [0,%d)", e.Index, s.m)
@@ -123,15 +136,25 @@ func (s *PackingSolver) AddColumn(obj float64, entries []Entry) (int, error) {
 		if math.IsNaN(e.Value) || math.IsInf(e.Value, 0) {
 			return 0, fmt.Errorf("lp: non-finite coefficient in row %d", e.Index)
 		}
-		merged[e.Index] += e.Value
 	}
-	es := make([]Entry, 0, len(merged))
-	for r, v := range merged {
+	// Merge duplicate rows without a per-call map: stable-sort a scratch
+	// copy by row, then sum runs left-to-right — the same per-row addition
+	// order as input order, so merged values are bit-identical to the old
+	// map-based merge.
+	buf := append(s.colBuf[:0], entries...)
+	sort.SliceStable(buf, func(i, j int) bool { return buf[i].Index < buf[j].Index })
+	es := make([]Entry, 0, len(buf))
+	for i := 0; i < len(buf); {
+		r := buf[i].Index
+		v := buf[i].Value
+		for i++; i < len(buf) && buf[i].Index == r; i++ {
+			v += buf[i].Value
+		}
 		if v != 0 {
 			es = append(es, Entry{Index: r, Value: v})
 		}
 	}
-	sort.Slice(es, func(i, j int) bool { return es[i].Index < es[j].Index })
+	s.colBuf = buf
 	s.col = append(s.col, packedColumn{obj: obj, entries: es})
 	s.inBasis = append(s.inBasis, false)
 	s.basisRowOf = append(s.basisRowOf, -1)
@@ -266,7 +289,10 @@ func (s *PackingSolver) SolveCtx(ctx context.Context) (Status, error) {
 			maxIter = 20000
 		}
 	}
-	dir := make([]float64, s.m)
+	if len(s.dirBuf) != s.m {
+		s.dirBuf = make([]float64, s.m)
+	}
+	dir := s.dirBuf
 	stall := 0
 	for iter := 0; iter < maxIter; iter++ {
 		if done != nil && iter%ctxCheckStride == 0 {
@@ -380,17 +406,24 @@ func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta, rc floa
 	// support of the pivot row: zero pr[j] entries contribute f·0 = 0 to
 	// every row, so skipping them leaves the arithmetic bit-identical
 	// while basis inverses stay sparse (slack-heavy packing bases mostly
-	// are).
+	// are). The support values are packed into a dense companion slice so
+	// the per-row update streams (index, value) pairs from contiguous
+	// memory instead of re-gathering pr[j] across the m-wide pivot row
+	// once per basis row — same multiplies, same order, same bits.
 	pr := s.binv[leave]
 	inv := 1 / dir[leave]
 	sup := s.supBuf[:0]
+	val := s.supVal[:0]
 	for j, v := range pr {
 		if v != 0 {
-			pr[j] = v * inv
+			v *= inv
+			pr[j] = v
 			sup = append(sup, int32(j))
+			val = append(val, v)
 		}
 	}
 	s.supBuf = sup
+	s.supVal = val
 	for i := range s.binv {
 		if i == leave {
 			continue
@@ -400,16 +433,16 @@ func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta, rc floa
 			continue
 		}
 		row := s.binv[i]
-		for _, j := range sup {
-			row[j] -= f * pr[j]
+		for k, j := range sup {
+			row[j] -= f * val[k]
 		}
 	}
 	// Dual update: with entering reduced cost rc and pivot element d_r,
 	// y' = y + (rc/d_r)·(B⁻¹)_r = y + rc·(B'⁻¹)_r — pr already holds the
 	// transformed row, so the O(m²) from-scratch product is unnecessary.
 	if rc != 0 {
-		for _, j := range sup {
-			s.y[j] += rc * pr[j]
+		for k, j := range sup {
+			s.y[j] += rc * val[k]
 		}
 	}
 	s.pivots++
@@ -422,11 +455,22 @@ func (s *PackingSolver) pivot(leave, entering int, dir []float64, theta, rc floa
 // accumulated floating-point drift. It is O(m³).
 func (s *PackingSolver) refactorize() {
 	m := s.m
-	// Build B augmented with identity, Gauss-Jordan to invert.
-	bmat := make([][]float64, m)
+	// Build B augmented with identity, Gauss-Jordan to invert. The m×2m
+	// workspace is retained across refactorizations (every 2000 pivots)
+	// and zeroed explicitly, matching a fresh allocation bit-for-bit.
+	if len(s.refacBuf) != m {
+		s.refacBuf = make([][]float64, m)
+		for i := range s.refacBuf {
+			s.refacBuf[i] = make([]float64, 2*m)
+		}
+	}
+	bmat := s.refacBuf
 	for i := 0; i < m; i++ {
-		bmat[i] = make([]float64, 2*m)
-		bmat[i][m+i] = 1
+		row := bmat[i]
+		for j := range row {
+			row[j] = 0
+		}
+		row[m+i] = 1
 	}
 	for k, id := range s.basis {
 		if id >= 0 {

@@ -54,7 +54,14 @@ func (p AttemptPlan) ExpectedSegments() float64 {
 // order the physical phase resolves them: by endpoint pair, then candidate
 // path.
 func (p AttemptPlan) SortedCandidates() []*segment.Candidate {
-	cands := make([]*segment.Candidate, 0, len(p))
+	return p.SortedCandidatesInto(nil)
+}
+
+// SortedCandidatesInto is SortedCandidates writing into buf's backing
+// array (grown as needed) so per-slot callers can reuse one scratch slice
+// across slots instead of allocating per call.
+func (p AttemptPlan) SortedCandidatesInto(buf []*segment.Candidate) []*segment.Candidate {
+	cands := buf[:0]
 	for c := range p {
 		cands = append(cands, c)
 	}
@@ -116,9 +123,35 @@ func AttemptAllObserved(plan AttemptPlan, rng *rand.Rand, obs AttemptObserver) [
 // randomness, so the rng stream of the surviving attempts — and with it the
 // whole slot — is a pure function of (engine seed, fault plan).
 func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs AttemptObserver) []*Segment {
+	return AttemptAllFaultyScratch(plan, rng, fm, obs, nil)
+}
+
+// AttemptScratch holds the reusable per-slot buffers of the physical
+// phase. Only the candidate ordering buffer lives here: realized segments
+// themselves are slab-allocated fresh each call, because banked segments
+// outlive the slot that created them (see the state bank) and must never
+// be overwritten by a later slot's attempts.
+type AttemptScratch struct {
+	cands []*segment.Candidate
+}
+
+// AttemptAllFaultyScratch is AttemptAllFaulty reusing sc's buffers (nil
+// behaves like AttemptAllFaulty). Identical rng consumption and results.
+func AttemptAllFaultyScratch(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs AttemptObserver, sc *AttemptScratch) []*Segment {
 	cm, _ := fm.(CapacityModel)
-	var out []*Segment
-	for _, c := range plan.SortedCandidates() {
+	var sorted []*segment.Candidate
+	if sc != nil {
+		sorted = plan.SortedCandidatesInto(sc.cands)
+		sc.cands = sorted
+	} else {
+		sorted = plan.SortedCandidates()
+	}
+	// One slab allocation for every possible success this slot: successes
+	// never exceed attempts, so append never regrows and pointers into the
+	// slab stay valid for as long as any segment is referenced.
+	slab := make([]Segment, 0, plan.TotalAttempts())
+	out := make([]*Segment, 0, plan.TotalAttempts())
+	for _, c := range sorted {
 		if fm != nil && fm.CandidateBlocked(c) {
 			if obs != nil {
 				for k := 0; k < plan[c]; k++ {
@@ -136,7 +169,8 @@ func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs Attem
 		for k := 0; k < granted; k++ {
 			created := xrand.Bernoulli(rng, c.Prob)
 			if created {
-				out = append(out, &Segment{A: c.U(), B: c.V(), Cand: c})
+				slab = append(slab, Segment{A: c.U(), B: c.V(), Cand: c})
+				out = append(out, &slab[len(slab)-1])
 			}
 			if obs != nil {
 				obs(c, created)
@@ -147,6 +181,9 @@ func AttemptAllFaulty(plan AttemptPlan, rng *rand.Rand, fm FaultModel, obs Attem
 				obs(c, false)
 			}
 		}
+	}
+	if len(out) == 0 {
+		return nil
 	}
 	return out
 }
@@ -179,10 +216,31 @@ type Pool struct {
 // NewPool builds a pool over realized segments.
 func NewPool(segs []*Segment) *Pool {
 	p := &Pool{byPair: make(map[segment.PairKey][]*Segment)}
+	p.fill(segs)
+	return p
+}
+
+// Reset repopulates the pool in place with a new slot's segments, reusing
+// the index map (and its per-pair buckets' backing arrays where possible)
+// instead of allocating a fresh pool every slot.
+func (p *Pool) Reset(segs []*Segment) {
+	for pk, bucket := range p.byPair {
+		p.byPair[pk] = bucket[:0]
+	}
+	p.fill(segs)
+	// Drop pairs that received nothing this slot so Pairs/Available see
+	// exactly the same key set a fresh pool would.
+	for pk, bucket := range p.byPair {
+		if len(bucket) == 0 {
+			delete(p.byPair, pk)
+		}
+	}
+}
+
+func (p *Pool) fill(segs []*Segment) {
 	for _, s := range segs {
 		p.byPair[s.Pair()] = append(p.byPair[s.Pair()], s)
 	}
-	return p
 }
 
 // Available returns how many unconsumed segments remain for a pair.

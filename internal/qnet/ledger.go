@@ -50,6 +50,15 @@ func NewLedgerWithCapacities(net *topo.Network, channels, memory []int) *Ledger 
 	return l
 }
 
+// Reset refills the ledger to its capacities, releasing every reservation
+// at once. Engines keep one ledger per instance and Reset it at slot start
+// instead of allocating a fresh one (the capacity tables never change
+// within an engine's lifetime).
+func (l *Ledger) Reset() {
+	copy(l.chanFree, l.chanCap)
+	copy(l.memFree, l.memCap)
+}
+
 // FreeChannels returns the free channel count of a link.
 func (l *Ledger) FreeChannels(link int) int { return l.chanFree[link] }
 

@@ -29,6 +29,7 @@ import (
 	"see/internal/segment"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 )
 
 // Options tunes REPS.
@@ -46,6 +47,11 @@ type Options struct {
 	// zero-plan injector leaves the engine byte-identical to a run without
 	// any chaos layer (see the matching field in core.Options).
 	Chaos *chaos.Injector
+	// Warm, when non-nil, memoizes the link-candidate set and every
+	// progressive-rounding LP solution across engine (re)builds over the
+	// same network (see internal/warm and the matching field in
+	// core.Options). Bypassed for budgeted construction (non-nil ctx).
+	Warm *warm.Cache
 }
 
 func (o Options) withDefaults() Options {
@@ -78,6 +84,33 @@ type Engine struct {
 	// bank is the optional cross-slot segment bank; nil keeps the engine
 	// memoryless (see the matching field in core.Engine).
 	bank *state.Bank
+	// slot is the reusable per-slot scratch: attempt ordering, the segment
+	// pool, EPS's per-pair counters and auxiliary graph, and the targeted
+	// Dijkstra buffers. Only RunSlot uses it; the exported SelectPaths
+	// entry points allocate fresh.
+	slot *slotScratch
+}
+
+// slotScratch holds REPS's per-slot reusable buffers; the same lifetime
+// rule as core.slotScratch applies — nothing in it may outlive the slot.
+type slotScratch struct {
+	att      qnet.AttemptScratch
+	pool     *qnet.Pool
+	perPair  []int
+	aux      *graph.Graph
+	auxPairs []segment.PairKey
+	dij      graph.DijkstraScratch
+}
+
+// scratch returns the engine's slot scratch, creating it on first use.
+func (e *Engine) scratch() *slotScratch {
+	if e.slot == nil {
+		e.slot = &slotScratch{
+			perPair: make([]int, len(e.Pairs)),
+			aux:     graph.New(e.Net.NumNodes()),
+		}
+	}
+	return e.slot
 }
 
 var _ sched.Stateful = (*Engine)(nil)
@@ -101,7 +134,15 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 	segOpts.KPaths = opts.KPaths
 	segOpts.MaxSegmentHops = 1 // entanglement links only
 	segOpts.MinProb = 0
-	set, err := segment.Build(net, pairs, segOpts)
+	// Budgeted construction bypasses the warm cache (see core.NewEngineCtx).
+	useWarm := opts.Warm != nil && ctx == nil
+	var set *segment.Set
+	var err error
+	if useWarm {
+		set, err = opts.Warm.SegmentSet(net, pairs, segOpts)
+	} else {
+		set, err = segment.Build(net, pairs, segOpts)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("reps: building link candidates: %w", err)
 	}
@@ -124,6 +165,12 @@ func (e *Engine) provision(ctx context.Context) error {
 	plan := make(qnet.AttemptPlan)
 	channels := append([]int(nil), e.Net.Channels...)
 	memory := append([]int(nil), e.Net.Memory...)
+	// The rounding rounds re-solve over the same candidate set with only
+	// the residual capacities changing, so one arena carries the solver's
+	// capacity-independent tables across all of them; a warm cache
+	// additionally replays whole solutions across engine rebuilds.
+	useWarm := e.opts.Warm != nil && ctx == nil
+	arena := &flow.Arena{}
 
 	// commit reserves up to n attempts over c (as many as the residual
 	// capacities fit) and returns how many were committed.
@@ -160,7 +207,14 @@ func (e *Engine) provision(ctx context.Context) error {
 		fopts.ConnCap = e.ConnCap
 		fopts.Channels = channels
 		fopts.Memory = memory
-		sol, err := flow.SolveCtx(ctx, e.Set, fopts)
+		fopts.Arena = arena
+		var sol *flow.Solution
+		var err error
+		if useWarm {
+			sol, err = e.opts.Warm.Solve(e.Set, fopts)
+		} else {
+			sol, err = flow.SolveCtx(ctx, e.Set, fopts)
+		}
 		if err != nil {
 			return fmt.Errorf("reps: provisioning LP: %w", err)
 		}
@@ -324,7 +378,8 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			tr.AttemptResolved(c.U(), c.V(), ok)
 		}
 	}
-	created := qnet.AttemptAllFaulty(plan, rng, fm, attemptObs)
+	sc := e.scratch()
+	created := qnet.AttemptAllFaultyScratch(plan, rng, fm, attemptObs, &sc.att)
 	res.SegmentsCreated = len(created)
 	created, _ = qnet.ApplyDecoherence(created, fm)
 	if fm != nil {
@@ -346,8 +401,14 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	// Withdrawn carried links join the pool ahead of the fresh ones so the
 	// oldest photons are consumed preferentially.
 	t0 = time.Now()
-	pool := qnet.NewPool(append(withdrawn, created...))
-	conns, assembled := e.selectFromPool(pool, rng)
+	slotSegs := append(withdrawn, created...)
+	if sc.pool == nil {
+		sc.pool = qnet.NewPool(slotSegs)
+	} else {
+		sc.pool.Reset(slotSegs)
+	}
+	pool := sc.pool
+	conns, assembled := e.selectFromPoolScratch(pool, rng, sc)
 	res.Assembled = assembled
 	for _, c := range conns {
 		if err := c.Validate(); err != nil {
@@ -391,15 +452,38 @@ func (e *Engine) selectPaths(created []*qnet.Segment, rng *rand.Rand) ([]*qnet.C
 // path uses it so carried links mix with fresh ones and the leftovers can
 // be banked afterwards.
 func (e *Engine) selectFromPool(pool *qnet.Pool, rng *rand.Rand) ([]*qnet.Connection, int) {
+	return e.selectFromPoolScratch(pool, rng, nil)
+}
+
+// selectFromPoolScratch is selectFromPool over an optional slot scratch
+// (reused auxiliary graph, per-pair counters and Dijkstra buffers, plus
+// the early-stop targeted queries); nil allocates fresh. Both paths
+// produce identical connections.
+func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) ([]*qnet.Connection, int) {
 	tr := e.tracer
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
 	attempts := 0
-	aux := graph.New(e.Net.NumNodes())
+	var aux *graph.Graph
+	var auxPairs []segment.PairKey
+	var dij *graph.DijkstraScratch
+	if sc != nil {
+		aux = sc.aux
+		aux.Reset()
+		auxPairs = sc.auxPairs[:0]
+		dij = &sc.dij
+	} else {
+		aux = graph.New(e.Net.NumNodes())
+	}
 	pairsWith := pool.Pairs()
-	auxPairs := make([]segment.PairKey, 0, len(pairsWith))
+	if auxPairs == nil {
+		auxPairs = make([]segment.PairKey, 0, len(pairsWith))
+	}
 	for _, pk := range pairsWith {
 		aux.AddEdge(pk.U, pk.V, 1)
 		auxPairs = append(auxPairs, pk)
+	}
+	if sc != nil {
+		sc.auxPairs = auxPairs
 	}
 	nodeWeight := func(u int) float64 {
 		q := e.Net.SwapProb[u]
@@ -414,7 +498,13 @@ func (e *Engine) selectFromPool(pool *qnet.Pool, rng *rand.Rand) ([]*qnet.Connec
 		}
 		return 1e9
 	}
-	perPair := make([]int, len(e.Pairs))
+	var perPair []int
+	if sc != nil {
+		perPair = sc.perPair
+		clear(perPair)
+	} else {
+		perPair = make([]int, len(e.Pairs))
+	}
 	var out []*qnet.Connection
 	for {
 		progress := false
@@ -422,10 +512,10 @@ func (e *Engine) selectFromPool(pool *qnet.Pool, rng *rand.Rand) ([]*qnet.Connec
 			if perPair[i] >= e.ConnCap[i] {
 				continue
 			}
-			path, dist := graph.ShortestPath(aux, sd.S, sd.D, graph.DijkstraOptions{
+			path, dist := graph.ShortestPathTarget(aux, sd.S, sd.D, graph.DijkstraOptions{
 				NodeWeight: nodeWeight,
 				EdgeWeight: edgeWeight,
-			})
+			}, dij)
 			if path == nil || dist >= 1e8 {
 				continue
 			}

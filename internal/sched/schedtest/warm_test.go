@@ -1,0 +1,119 @@
+package schedtest
+
+import (
+	"reflect"
+	"testing"
+
+	"see/internal/engines"
+	"see/internal/sched"
+	"see/internal/warm"
+)
+
+// TestWarmEqualsColdByteIdentical is the warm-start contract for the whole
+// registry: at every worker count, an engine built through a warm cache —
+// once to populate it and once again to replay it — produces slot results
+// reflect.DeepEqual to a cold build's. Run under -race (make verify does)
+// this also exercises the cache's locking against the parallel pricing
+// rounds.
+func TestWarmEqualsColdByteIdentical(t *testing.T) {
+	net, pairs, err := Instance(testNodes, testPairs, testSeed+8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachEngine(t, func(t *testing.T, alg sched.Algorithm) {
+		for _, workers := range []int{1, 4, 8} {
+			cold, err := engines.New(alg, net, pairs, engines.Config{Workers: workers})
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			want, err := Run(cold, 37, testSlots)
+			if err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+
+			cache := warm.New()
+			// First build populates the cache, second replays it; both must
+			// match the cold run byte for byte.
+			for pass := 0; pass < 2; pass++ {
+				eng, err := engines.New(alg, net, pairs, engines.Config{Workers: workers, Warm: cache})
+				if err != nil {
+					t.Fatalf("workers=%d pass=%d: %v", workers, pass, err)
+				}
+				got, err := Run(eng, 37, testSlots)
+				if err != nil {
+					t.Fatalf("workers=%d pass=%d: %v", workers, pass, err)
+				}
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("workers=%d pass=%d: warm run diverged from cold", workers, pass)
+				}
+			}
+			st := cache.Stats()
+			if st.SetMisses == 0 {
+				t.Errorf("workers=%d: cache never saw a cold segment build", workers)
+			}
+			if st.SetHits == 0 {
+				t.Errorf("workers=%d: rebuild never hit the segment cache (stats %+v)", workers, st)
+			}
+			if st.Invalidations != 0 {
+				t.Errorf("workers=%d: unexpected invalidations: %+v", workers, st)
+			}
+		}
+	})
+}
+
+// TestWarmChurnForcesColdRebuild pins the invalidation trigger: mutating
+// the network in place between builds changes its content fingerprint, so
+// the cache must refuse to replay the stale plan — and the rebuilt engine
+// must match a cold build over the mutated network exactly.
+func TestWarmChurnForcesColdRebuild(t *testing.T) {
+	net, pairs, err := Instance(testNodes, testPairs, testSeed+9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forEachEngine(t, func(t *testing.T, alg sched.Algorithm) {
+		cache := warm.New()
+		if _, err := engines.New(alg, net, pairs, engines.Config{Warm: cache}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Churn: derate one link in place. Same pointer, new content.
+		net.Channels[0]++
+		defer func() { net.Channels[0]-- }()
+
+		warmEng, err := engines.New(alg, net, pairs, engines.Config{Warm: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := cache.Stats()
+		if st.Invalidations == 0 {
+			t.Fatalf("in-place mutation did not invalidate the cache: %+v", st)
+		}
+		if st.SetHits != 0 {
+			t.Fatalf("stale entry was replayed after mutation: %+v", st)
+		}
+
+		cold, err := engines.New(alg, net, pairs, engines.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Run(cold, 41, testSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Run(warmEng, 41, testSlots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Error("post-churn warm run diverged from a cold build over the mutated network")
+		}
+
+		// The mutated network is now cached; a further rebuild replays it.
+		if _, err := engines.New(alg, net, pairs, engines.Config{Warm: cache}); err != nil {
+			t.Fatal(err)
+		}
+		if st := cache.Stats(); st.SetHits == 0 {
+			t.Errorf("rebuild over the mutated network never hit the refreshed cache: %+v", st)
+		}
+	})
+}

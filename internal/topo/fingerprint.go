@@ -1,0 +1,59 @@
+package topo
+
+import (
+	"hash/fnv"
+	"math"
+)
+
+// Fingerprint hashes the controller-visible content of a network — the
+// adjacency structure plus every quantum resource and probability field —
+// into a 64-bit FNV-1a digest. Two networks with equal fingerprints are,
+// for planning purposes, the same network; any in-place mutation (a link
+// re-provisioned, a node's memory resized, a swap probability recalibrated)
+// changes the digest.
+//
+// The warm-start cache (internal/warm) records the fingerprint when it
+// memoizes planning artifacts for a *Network and re-verifies it on every
+// lookup, so mutating a network between scheduler builds forces a cold
+// rebuild instead of silently replaying stale plans.
+func Fingerprint(n *Network) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+
+	u64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+
+	u64(uint64(n.G.N()))
+	u64(uint64(n.G.NumEdgeIDs()))
+	// Adjacency: every arc (u, e.To, e.ID, e.W) in deterministic order.
+	for u := 0; u < n.G.N(); u++ {
+		for _, e := range n.G.Neighbors(u) {
+			u64(uint64(u))
+			u64(uint64(e.To))
+			u64(uint64(e.ID))
+			f64(e.Weight)
+		}
+	}
+	for _, p := range n.Pos {
+		f64(p[0])
+		f64(p[1])
+	}
+	for _, l := range n.LinkLen {
+		f64(l)
+	}
+	for _, c := range n.Channels {
+		u64(uint64(int64(c)))
+	}
+	for _, m := range n.Memory {
+		u64(uint64(int64(m)))
+	}
+	for _, q := range n.SwapProb {
+		f64(q)
+	}
+	return h.Sum64()
+}

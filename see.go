@@ -29,6 +29,7 @@ import (
 	"see/internal/serve"
 	"see/internal/state"
 	"see/internal/topo"
+	"see/internal/warm"
 	"see/internal/xrand"
 )
 
@@ -259,7 +260,28 @@ type SchedulerOptions struct {
 	// quantum memory decoheres deterministically (default 1 — usable in
 	// the next slot only). Ignored when CarryOver is false.
 	DecoherenceSlots int
+	// Warm, when non-nil, memoizes the expensive construction artifacts —
+	// segment-candidate sets and LP solutions — across schedulers built
+	// over the same Network (see DESIGN.md §9). Share one WarmCache across
+	// NewScheduler calls (traffic-server restarts, REPS rounds, benchmark
+	// rebuilds) to skip redundant solves; every replayed artifact is
+	// byte-identical to a cold build, so results never change. In-place
+	// topology mutation is detected by fingerprint and invalidates the
+	// affected entries. Nil disables warm starts.
+	Warm *WarmCache
 }
+
+// WarmCache memoizes scheduler-construction artifacts across rebuilds over
+// the same network; see SchedulerOptions.Warm. It is the canonical
+// warm.Cache and is safe for concurrent use.
+type WarmCache = warm.Cache
+
+// NewWarmCache returns an empty warm-start cache.
+func NewWarmCache() *WarmCache { return warm.New() }
+
+// WarmStats is a snapshot of a WarmCache's hit/miss/invalidation counters
+// (see warm.Stats).
+type WarmStats = warm.Stats
 
 // CarryStats tallies the lifetime activity of a scheduler's cross-slot
 // state bank: segments deposited, rejected for lack of memory, withdrawn,
@@ -408,6 +430,7 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		PlainObjective:     o.PlainObjective,
 		Workers:            o.Workers,
 		Tracer:             o.Tracer,
+		Warm:               o.Warm,
 	}
 	if o.Faults != nil {
 		inj, err := chaos.NewInjector(o.Faults, net.inner)
