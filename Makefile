@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test vet race verify bench bench-smoke bench-pr4 bench-pr9 profile chaos-smoke serve-smoke docs-check cover cover-update fuzz-smoke figures
+.PHONY: all build test vet race verify bench bench-smoke bench-pr4 bench-pr9 profile chaos-smoke serve-smoke fidelity-smoke docs-check cover cover-update fuzz-smoke figures
 
 # bench narrows the benchmark pattern / iteration budget, e.g.
 #   make bench BENCH=ColumnGeneration BENCHTIME=5s
@@ -27,9 +27,11 @@ race:
 # every committed fuzz target, a single-iteration pass over the substrate
 # benchmarks so perf-path regressions that only bench code exercises are
 # caught early, a chaos smoke that drives fault injection and the
-# degradation ladder end-to-end through the CLI, and a serve smoke that
-# kills and resumes a checkpointing service-mode run.
-verify: vet docs-check build race cover fuzz-smoke bench-smoke chaos-smoke serve-smoke
+# degradation ladder end-to-end through the CLI, a serve smoke that
+# kills and resumes a checkpointing service-mode run, and a fidelity
+# smoke that pins the floor layer's disabled path to the committed
+# golden and drives floors + swap order + carry-aware pricing end-to-end.
+verify: vet docs-check build race cover fuzz-smoke bench-smoke chaos-smoke serve-smoke fidelity-smoke
 
 # cover enforces the committed per-package statement-coverage floors in
 # COVERAGE.txt (cmd/covercheck); cover-update re-derives the floors after
@@ -47,6 +49,7 @@ FUZZTIME ?= 5s
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzParseSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/chaos
 	$(GO) test -fuzz=FuzzLoadEdgeList -fuzztime=$(FUZZTIME) -run='^$$' ./internal/topo
+	$(GO) test -fuzz=FuzzParseFloorSpec -fuzztime=$(FUZZTIME) -run='^$$' ./internal/qnet
 
 # docs-check keeps the documentation honest: gofmt-clean tree, a package
 # comment on every internal/* package, and every seesim flag present in
@@ -104,6 +107,25 @@ serve-smoke:
 	@grep -A4 'service summary' /tmp/see-serve-smoke/resume.out > /tmp/see-serve-smoke/resume.sum
 	diff /tmp/see-serve-smoke/full.sum /tmp/see-serve-smoke/resume.sum
 	@echo "serve-smoke: kill/resume byte-identical"
+
+# fidelity-smoke pins the fidelity layer's two promises through the real
+# binary: with no floor flag (and the explicit default swap order) the
+# output is byte-identical to the committed pre-floor golden, and a
+# floored run with greedy swap order, carry-over aging and carry-aware LP
+# pricing completes cleanly end-to-end.
+fidelity-smoke:
+	@rm -rf /tmp/see-fidelity-smoke && mkdir -p /tmp/see-fidelity-smoke
+	$(GO) build -o /tmp/see-fidelity-smoke/seesim ./cmd/seesim
+	/tmp/see-fidelity-smoke/seesim -alg see -nodes 30 -pairs 5 -trials 2 -seed 7 -workers 1 \
+		> /tmp/see-fidelity-smoke/plain.out
+	diff cmd/seesim/testdata/golden/see.txt /tmp/see-fidelity-smoke/plain.out
+	/tmp/see-fidelity-smoke/seesim -alg see -nodes 30 -pairs 5 -trials 2 -seed 7 -workers 1 \
+		-swap-order path > /tmp/see-fidelity-smoke/knobs.out
+	diff /tmp/see-fidelity-smoke/plain.out /tmp/see-fidelity-smoke/knobs.out
+	/tmp/see-fidelity-smoke/seesim -alg see,oracle -nodes 40 -pairs 6 -trials 2 -slots 4 -seed 7 \
+		-workers 2 -fidelity-floor '0.65;0=0.7' -swap-order greedy \
+		-carry -carry-retention 0.9 -carry-min-scale 0.5 -carry-aware-lp > /dev/null
+	@echo "fidelity-smoke: floor-disabled output byte-identical to committed golden"
 
 # bench records the run in BENCH_PR2.json next to the committed pre-change
 # baseline (BenchmarkColumnGeneration at commit 51e778b, serial kernel:

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"see"
+	"see/internal/metrics"
 	"see/internal/xrand"
 )
 
@@ -56,6 +57,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		carry      = fs.Bool("carry", false, "carry unconsumed entanglement segments across slots in node memories (cross-slot state bank)")
 		decohere   = fs.Int("decohere-slots", 1, "with -carry: slot boundaries a banked segment survives before decohering")
 		warmStart  = fs.Bool("warm-start", true, "reuse memoized candidate sets and LP solutions across scheduler rebuilds over the same topology (results are byte-identical either way)")
+		floorSpec  = fs.String("fidelity-floor", "", "per-request minimum delivered fidelity, e.g. \"0.8;3=0.95\" (default floor plus pair=floor overrides; empty = no floors, also enables the fidelity report)")
+		swapOrder  = fs.String("swap-order", "path", "junction swap sampling order: path (source to destination) or greedy (least reliable junction first)")
+		carryLP    = fs.Bool("carry-aware-lp", false, "with -carry: re-price the provisioning LP on slots that withdrew banked segments, so edges covered by carried inventory price cheaper")
+		retention  = fs.Float64("carry-retention", 0, "with -carry: per-slot-boundary Werner-parameter retention of banked segments in (0,1); 0 or 1 disables aging")
+		minScale   = fs.Float64("carry-min-scale", 0, "with -carry: minimum decayed Werner scale below which a banked segment stops substituting for planned attempts")
 
 		serveMode = fs.Bool("serve", false, "service mode: run one long-lived instance where an arrival process generates per-user requests with QoS classes and deadlines (-trials is ignored)")
 		arrivals  = fs.String("arrivals", "poisson;rate=2", "service-mode arrival spec, e.g. \"poisson;rate=3;users=200;mix=0.2/0.3/0.5;deadline=4/8/16;max-active=64\"")
@@ -100,9 +106,23 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			return 2
 		}
 	}
-	// Fault injection, slot budgets and carry-over report through the
-	// tracer, so any of those flags implies counters even without -trace.
-	countInjected := plan != nil || *budget > 0 || *carry
+	var floors *see.FloorSpec
+	if *floorSpec != "" {
+		floors, err = see.ParseFloorSpec(*floorSpec)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	}
+	order, err := see.ParseSwapOrder(*swapOrder)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	// Fault injection, slot budgets, carry-over and fidelity floors report
+	// through the tracer, so any of those flags implies counters even
+	// without -trace.
+	countInjected := plan != nil || *budget > 0 || *carry || floors != nil
 	var jsonlTracer *see.JSONLTracer
 	if *jsonl != "" {
 		f, err := os.Create(*jsonl)
@@ -139,12 +159,15 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 			decohere: *decohere, trace: *trace, jsonl: jsonlTracer,
 			arrivals: *arrivals, ckptDir: *ckptDir, ckptEvery: *ckptEvery,
 			resume: *resume, dieAt: *dieAt, warm: warmCache,
+			floors: floors, swapOrder: order, carryLP: *carryLP,
+			retention: *retention, minScale: *minScale,
 		}, stdout, stderr)
 	}
 
 	totals := make(map[see.Algorithm]float64, len(algs))
 	bounds := make(map[see.Algorithm]float64, len(algs))
 	tracers := make(map[see.Algorithm]*see.CountingTracer, len(algs))
+	fids := make(map[see.Algorithm][]float64, len(algs))
 	for _, a := range algs {
 		tracers[a] = see.NewCountingTracer()
 	}
@@ -158,12 +181,17 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		}
 		for _, a := range algs {
 			opts := &see.SchedulerOptions{
-				Workers:          *workers,
-				Faults:           plan,
-				SlotBudget:       *budget,
-				CarryOver:        *carry,
-				DecoherenceSlots: *decohere,
-				Warm:             warmCache,
+				Workers:              *workers,
+				Faults:               plan,
+				SlotBudget:           *budget,
+				CarryOver:            *carry,
+				DecoherenceSlots:     *decohere,
+				Warm:                 warmCache,
+				FidelityFloor:        floors,
+				SwapOrder:            order,
+				CarryAwareLP:         *carryLP,
+				CarryWernerRetention: *retention,
+				CarryMinWernerScale:  *minScale,
 			}
 			var ts []see.Tracer
 			if *trace || countInjected {
@@ -188,6 +216,11 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 					return 1
 				}
 				totals[a] += float64(res.Established)
+				if floors != nil {
+					for _, c := range res.Connections {
+						fids[a] = append(fids[a], c.Fidelity)
+					}
+				}
 			}
 			// Read the bound after the slots: under -slot-budget the LP is
 			// built lazily inside the first slot, so the bound is 0 before.
@@ -203,6 +236,7 @@ func run(args []string, stdout, stderr io.Writer) (code int) {
 		traffic: *traffic, trace: *trace, countInjected: countInjected,
 		faults: *faults, budget: *budget, carry: *carry, decohere: *decohere,
 		totals: totals, bounds: bounds, tracers: tracers,
+		floorSpec: *floorSpec, swapOrder: order, fids: fids,
 	})
 	return 0
 }
@@ -220,6 +254,12 @@ type reportParams struct {
 	decohere                       int
 	totals, bounds                 map[see.Algorithm]float64
 	tracers                        map[see.Algorithm]*see.CountingTracer
+	// floorSpec is the raw -fidelity-floor flag; non-empty enables the
+	// fidelity section (even for an all-zero spec, which reports delivered
+	// fidelity without enforcing anything).
+	floorSpec string
+	swapOrder see.SwapOrder
+	fids      map[see.Algorithm][]float64
 }
 
 // report prints the run summary: the configuration header, the throughput
@@ -236,6 +276,37 @@ func report(w io.Writer, p reportParams) {
 	for _, a := range p.algs {
 		fmt.Fprintf(w, "%-7s %-18.3f %-14.3f\n",
 			a, p.totals[a]/float64(p.slotCount), p.bounds[a]/float64(p.trials))
+	}
+	// With the oracle in the selection, quote every real scheme's
+	// throughput as a fraction of the network's expected entanglement
+	// capacity (the oracle's per-trial UpperBound; see internal/oracle).
+	if capacity, ok := p.bounds[see.Oracle]; ok && capacity > 0 && p.slotCount > 0 {
+		perSlot := capacity / float64(p.trials)
+		fmt.Fprintf(w, "\n# capacity (oracle expected bound = %.3f/slot)\n", perSlot)
+		for _, a := range p.algs {
+			if a == see.Oracle {
+				continue
+			}
+			fmt.Fprintf(w, "%-7s %5.1f%% of capacity\n", a, 100*p.totals[a]/float64(p.slotCount)/perSlot)
+		}
+	}
+	// The fidelity section follows the -fidelity-floor flag, not the
+	// floors' strength: "-fidelity-floor 0" reports delivered fidelity
+	// while enforcing nothing.
+	if p.floorSpec != "" {
+		fmt.Fprintf(w, "\n# fidelity (floor=%q swap-order=%s)\n", p.floorSpec, p.swapOrder)
+		for _, a := range p.algs {
+			if a == see.Oracle {
+				continue
+			}
+			s := metrics.Summarize(p.fids[a])
+			if s.N == 0 {
+				fmt.Fprintf(w, "%-7s delivered=0\n", a)
+				continue
+			}
+			fmt.Fprintf(w, "%-7s delivered=%d p50=%.4f mean=%.4f min=%.4f\n",
+				a, s.N, s.MedianApprox, s.Mean, s.Min)
+		}
 	}
 	if p.trace {
 		for _, a := range p.algs {
@@ -257,6 +328,9 @@ func report(w io.Writer, p reportParams) {
 				if !p.carry && isBankIncident(k) {
 					continue
 				}
+				if p.floorSpec == "" && isFloorIncident(k) {
+					continue
+				}
 				fmt.Fprintf(w, " %s=%d", k, c.IncidentCount(k))
 			}
 			fmt.Fprintln(w)
@@ -268,6 +342,12 @@ func report(w io.Writer, p reportParams) {
 // bank enabled (those lines are suppressed in bank-less runs).
 func isBankIncident(k see.Incident) bool {
 	return k == see.IncidentBankWithdraw || k == see.IncidentBankDeposit || k == see.IncidentBankDecohered
+}
+
+// isFloorIncident reports whether the kind fires only with fidelity floors
+// configured (suppressed in floor-less runs, like the bank kinds).
+func isFloorIncident(k see.Incident) bool {
+	return k == see.IncidentFloorReject
 }
 
 // explicitFloat maps a flag value of 0 to see.ExplicitZero so that

@@ -35,6 +35,11 @@ type serveParams struct {
 	resume    bool
 	dieAt     int
 	warm      *see.WarmCache
+	floors    *see.FloorSpec
+	swapOrder see.SwapOrder
+	carryLP   bool
+	retention float64
+	minScale  float64
 }
 
 // errDied is the sentinel the -die-at crash simulation stops a run with.
@@ -86,13 +91,18 @@ func (p serveParams) serveOne(a see.Algorithm, net *see.Network, sdPairs []see.S
 		ts = append(ts, p.jsonl)
 	}
 	sc, err := see.NewScheduler(a, net, sdPairs, &see.SchedulerOptions{
-		Workers:          p.workers,
-		Tracer:           see.MultiTracer(ts...),
-		Faults:           p.plan,
-		SlotBudget:       p.budget,
-		CarryOver:        p.carry,
-		DecoherenceSlots: p.decohere,
-		Warm:             p.warm,
+		Workers:              p.workers,
+		Tracer:               see.MultiTracer(ts...),
+		Faults:               p.plan,
+		SlotBudget:           p.budget,
+		CarryOver:            p.carry,
+		DecoherenceSlots:     p.decohere,
+		Warm:                 p.warm,
+		FidelityFloor:        p.floors,
+		SwapOrder:            p.swapOrder,
+		CarryAwareLP:         p.carryLP,
+		CarryWernerRetention: p.retention,
+		CarryMinWernerScale:  p.minScale,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "%v: %v\n", a, err)
@@ -171,8 +181,14 @@ func (p serveParams) serveOne(a see.Algorithm, net *see.Network, sdPairs []see.S
 // fairness side by side, then the per-class lifecycle.
 func reportServe(w io.Writer, a see.Algorithm, r *see.ServeReport, trace bool, tracer *see.CountingTracer) {
 	fmt.Fprintf(w, "# %v service summary (%d slots)\n", a, r.Slots)
-	fmt.Fprintf(w, "%-7v served=%d/%d throughput=%.3f fairness=%.3f established=%d rejected=%d expired=%d backlog=%d\n",
+	fmt.Fprintf(w, "%-7v served=%d/%d throughput=%.3f fairness=%.3f established=%d rejected=%d expired=%d backlog=%d",
 		a, r.Served, r.Arrived, r.Throughput, r.Fairness, r.Established, r.Rejected, r.Expired, r.Backlog)
+	// Floor rejections print only when any happened, so floor-less service
+	// summaries stay byte-identical to the pre-floor format.
+	if r.FloorRejected > 0 {
+		fmt.Fprintf(w, " floor_rejected=%d", r.FloorRejected)
+	}
+	fmt.Fprintln(w)
 	classes := []string{"gold", "silver", "bronze"}
 	for c, name := range classes {
 		cr := r.PerClass[c]

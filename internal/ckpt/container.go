@@ -21,7 +21,9 @@ const Magic = "SEECKPT\n"
 //
 // History: 2 widened the chaos Counts codec with the correlated-fault
 // counters (CutLinkSlotsDown, FlapSlotsDown, BrownoutAttemptsLost).
-const Version = 2
+// 3 widened the tracer incident array with floor_reject and appended the
+// floor-rejected counter to the service-state section (fidelity floors).
+const Version = 3
 
 // Section is one named, length-prefixed payload of a snapshot. Names keep
 // payloads self-describing: a reader takes the sections it knows and can

@@ -6,6 +6,7 @@ import (
 
 	"see/internal/graph"
 	"see/internal/qnet"
+	"see/internal/sched"
 	"see/internal/segment"
 )
 
@@ -37,7 +38,8 @@ const (
 // It returns the established connections and the number of assembly
 // attempts (established + swap-failed).
 func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet.Segment, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
-	return e.establishFromPool(provisioned, qnet.NewPool(created), rng)
+	established, attempts, _ = e.establishFromPoolScratch(provisioned, qnet.NewPool(created), rng, nil)
+	return established, attempts
 }
 
 // establishFromPool is establishConnections over a caller-built pool. The
@@ -45,7 +47,8 @@ func (e *Engine) establishConnections(provisioned []PlannedPath, created []*qnet
 // with the slot's fresh ones and so the engine can deposit the pool's
 // unconsumed leftovers into the state bank afterwards.
 func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand) (established []*qnet.Connection, attempts int) {
-	return e.establishFromPoolScratch(provisioned, pool, rng, nil)
+	established, attempts, _ = e.establishFromPoolScratch(provisioned, pool, rng, nil)
+	return established, attempts
 }
 
 // establishFromPoolScratch is establishFromPool over an optional slot
@@ -54,7 +57,7 @@ func (e *Engine) establishFromPool(provisioned []PlannedPath, pool *qnet.Pool, r
 // the early-stop targeted Dijkstra (identical result, less work). The
 // established connections are always freshly allocated — they outlive the
 // slot.
-func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) (established []*qnet.Connection, attempts int) {
+func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) (established []*qnet.Connection, attempts, floorRejected int) {
 	var perPair []int
 	if sc != nil {
 		perPair = sc.perPair
@@ -65,14 +68,19 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 	var out []*qnet.Connection
 	tr := e.tracer
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
+	fp := qnet.NewFloorPolicy(e.opts.FidelityFloors, e.Net)
+	var floorDead []bool // provisioned paths proven unable to meet their floor
 
 	// Lines 2–6: assign realized segments to provisioned paths. The pass
 	// repeats while it makes progress so that redundant segments retry a
 	// path whose swap failed (or establish a second connection over it).
 	for {
 		phaseAProgress := false
-		for _, p := range provisioned {
+		for pi, p := range provisioned {
 			if perPair[p.Commodity] >= e.ConnCap[p.Commodity] {
+				continue
+			}
+			if floorDead != nil && floorDead[pi] {
 				continue
 			}
 			ok := true
@@ -87,12 +95,24 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 			}
 			conn := &qnet.Connection{Pair: p.Commodity, Nodes: p.Nodes}
 			for _, hop := range p.Hops {
-				seg := pool.Take(hop.Pair)
+				seg := fp.Take(pool, p.Commodity, hop.Pair)
 				conn.Segments = append(conn.Segments, seg)
+			}
+			if fp.Rejects(p.Commodity, conn.Segments) {
+				for _, s := range conn.Segments {
+					pool.Return(s)
+				}
+				if floorDead == nil {
+					floorDead = make([]bool, len(provisioned))
+				}
+				floorDead[pi] = true
+				floorRejected++
+				tr.Incident(sched.IncidentFloorReject, 1)
+				continue
 			}
 			attempts++
 			phaseAProgress = true
-			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			ok = conn.EstablishOrderedObserved(e.Net, pool, rng, swapObs, e.opts.SwapOrder)
 			tr.ConnectionAssembled(p.Commodity, ok)
 			if ok {
 				out = append(out, conn)
@@ -124,10 +144,14 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 		dij = &sc.dij
 	}
 
+	var floorDeadPair []bool // pairs whose best aux route missed the floor
 	for {
 		progress := false
 		for i, sd := range e.Pairs {
 			if perPair[i] >= e.ConnCap[i] {
+				continue
+			}
+			if floorDeadPair != nil && floorDeadPair[i] {
 				continue
 			}
 			path, dist := graph.ShortestPathTarget(aux, sd.S, sd.D, graph.DijkstraOptions{
@@ -139,7 +163,7 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 			}
 			conn := &qnet.Connection{Pair: i, Nodes: path}
 			for h := 0; h+1 < len(path); h++ {
-				seg := pool.Take(segment.MakePairKey(path[h], path[h+1]))
+				seg := fp.Take(pool, i, segment.MakePairKey(path[h], path[h+1]))
 				if seg == nil {
 					// Unreachable if weights are consistent; roll back.
 					for _, s := range conn.Segments {
@@ -153,9 +177,21 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 			if conn == nil {
 				continue
 			}
+			if fp.Rejects(i, conn.Segments) {
+				for _, s := range conn.Segments {
+					pool.Return(s)
+				}
+				if floorDeadPair == nil {
+					floorDeadPair = make([]bool, len(e.Pairs))
+				}
+				floorDeadPair[i] = true
+				floorRejected++
+				tr.Incident(sched.IncidentFloorReject, 1)
+				continue
+			}
 			attempts++
 			progress = true
-			ok := conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			ok := conn.EstablishOrderedObserved(e.Net, pool, rng, swapObs, e.opts.SwapOrder)
 			tr.ConnectionAssembled(i, ok)
 			if ok {
 				out = append(out, conn)
@@ -163,7 +199,7 @@ func (e *Engine) establishFromPoolScratch(provisioned []PlannedPath, pool *qnet.
 			}
 		}
 		if !progress {
-			return out, attempts
+			return out, attempts, floorRejected
 		}
 	}
 }

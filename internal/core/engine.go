@@ -77,6 +77,26 @@ type Options struct {
 	// entirely for budgeted construction (non-nil ctx) so degradation
 	// behavior is cache-independent.
 	Warm *warm.Cache
+	// FidelityFloors is the per-request minimum delivered end-to-end
+	// fidelity. ECE never attempts an assembly whose predicted fidelity
+	// (qnet.FidelityModel.PredictFidelity over the exact segments it would
+	// consume) misses the pair's floor; for floored pairs it picks the
+	// highest-fidelity available segment per hop, so a rejection proves no
+	// composition can pass and the path (phase A) or pair (phase B) is
+	// floor-dead for the rest of the slot. Nil or all-zero disables
+	// enforcement and is byte-identical to pre-floor behavior.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder selects the stitch phase's swap schedule; the zero value
+	// (qnet.SwapOrderPath) is the historical left-to-right order.
+	SwapOrder qnet.SwapOrder
+	// CarryAwareLP re-prices the LP at the start of any slot that
+	// withdrew banked segments, dividing each segment edge's pricing cost
+	// by a weight grown with the banked inventory covering it (see
+	// flow.Options.CarryWeights), so EPI's rounding tables prefer paths
+	// that can stitch through already-realized, high-fidelity carried
+	// segments. Slots with an empty bank — and engines without a bank —
+	// plan on the construction-time LP unchanged.
+	CarryAwareLP bool
 }
 
 // DefaultOptions returns the SEE defaults: paper §III-D candidate pruning
@@ -115,6 +135,11 @@ type Engine struct {
 	slot       *slotScratch
 	epiPaths   [][]flow.PathFlow
 	epiWeights [][]float64
+	// carryArena carries the dual-independent pricing tables across the
+	// carry-aware per-slot LP re-solves (Options.CarryAwareLP); the
+	// re-solve bypasses the warm cache because its inputs change with the
+	// slot's banked inventory.
+	carryArena flow.Arena
 }
 
 var _ sched.Stateful = (*Engine)(nil)
@@ -258,9 +283,18 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		}
 	}
 
-	// Step i: EPI identifies entanglement paths.
+	// Step i: EPI identifies entanglement paths. With carry-aware pricing
+	// enabled and banked inventory in hand, the slot rounds over a
+	// re-priced LP whose columns prefer the carried segments; otherwise it
+	// rounds over the construction-time optimum as always.
 	t0 := time.Now()
-	planned := e.identifyPaths(rng)
+	lp := e.LP
+	if e.opts.CarryAwareLP && len(withdrawn) > 0 {
+		if sol := e.carryAwareSolve(withdrawn); sol != nil {
+			lp = sol
+		}
+	}
+	planned := e.identifyPathsLP(lp, rng)
 	res.PlannedPaths = len(planned)
 	if traced {
 		for _, p := range planned {
@@ -280,8 +314,10 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	}
 	res.ProvisionedPaths = len(provisioned)
 	// Carried segments substitute for planned creation attempts on their
-	// endpoint pair, shrinking this slot's reservation demand.
-	plan, _ = state.TrimPlan(plan, withdrawn)
+	// endpoint pair, shrinking this slot's reservation demand; the bank's
+	// policy can refuse substitution by segments decayed below its
+	// minimum Werner scale.
+	plan, _ = e.bank.TrimPlan(plan, withdrawn)
 	res.Attempts = plan.TotalAttempts()
 	if traced {
 		for _, p := range provisioned {
@@ -338,8 +374,9 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		sc.pool.Reset(slotSegs)
 	}
 	pool := sc.pool
-	conns, attempts := e.establishFromPoolScratch(provisioned, pool, rng, sc)
+	conns, attempts, floorRejected := e.establishFromPoolScratch(provisioned, pool, rng, sc)
 	res.Assembled = attempts
+	res.FloorRejected = floorRejected
 
 	for _, c := range conns {
 		if err := c.Validate(); err != nil {
@@ -360,6 +397,39 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	tr.PhaseDone(sched.PhaseStitch, time.Since(t0))
 	tr.SlotEnd(res)
 	return res, nil
+}
+
+// carryAwareSolve re-prices the LP with the slot's banked inventory folded
+// into column pricing: every withdrawn segment adds its decayed Werner
+// quality to its endpoint pair's edge weight, so pricing sees segment
+// edges already covered by high-fidelity carried photons as cheaper (see
+// flow.Options.CarryWeights). A failed solve falls back to the
+// construction-time LP rather than failing the slot.
+func (e *Engine) carryAwareSolve(withdrawn []*qnet.Segment) *flow.Solution {
+	weights := make([]float64, len(e.Set.EdgePairs))
+	for i := range weights {
+		weights[i] = 1
+	}
+	any := false
+	for _, s := range withdrawn {
+		id, ok := e.Set.EdgeOf[segment.MakePairKey(s.A, s.B)]
+		if !ok {
+			continue
+		}
+		weights[id] += s.WernerScale()
+		any = true
+	}
+	if !any {
+		return nil
+	}
+	fo := e.opts.Flow
+	fo.CarryWeights = weights
+	fo.Arena = &e.carryArena
+	sol, err := flow.SolveCtx(nil, e.Set, fo)
+	if err != nil {
+		return nil
+	}
+	return sol
 }
 
 // AttachBank implements sched.Stateful: it installs the cross-slot segment

@@ -30,15 +30,28 @@ type PlannedPath struct {
 // sample each connection's path with probability flow(P)/T_i, exactly
 // Algorithm 1's second rounding.
 func (e *Engine) identifyPaths(rng *rand.Rand) []PlannedPath {
+	return e.identifyPathsLP(e.LP, rng)
+}
+
+// identifyPathsLP is identifyPaths over an explicit LP solution. Rounding
+// over the engine's fixed LP uses the cached EPI tables; a slot-local
+// solution (the carry-aware re-solve) derives its own tables for the slot.
+func (e *Engine) identifyPathsLP(sol *flow.Solution, rng *rand.Rand) []PlannedPath {
 	// The per-commodity grouping and sampling weights are pure functions of
-	// the fixed LP solution, derived once at first call instead of per slot.
-	perCommodity, allWeights := e.epiTables()
+	// the LP solution, derived once per solution instead of per slot.
+	var perCommodity [][]flow.PathFlow
+	var allWeights [][]float64
+	if sol == e.LP {
+		perCommodity, allWeights = e.epiTables()
+	} else {
+		perCommodity, allWeights = deriveEpiTables(len(e.Pairs), sol)
+	}
 	var out []PlannedPath
 	for i, paths := range perCommodity {
 		if len(paths) == 0 {
 			continue
 		}
-		total := e.LP.PerCommodity[i]
+		total := sol.PerCommodity[i]
 		if total <= 1e-9 {
 			continue
 		}

@@ -66,21 +66,29 @@ func (e *Engine) scratch() *slotScratch {
 // behavior) was pure allocation churn.
 func (e *Engine) epiTables() ([][]flow.PathFlow, [][]float64) {
 	if e.epiPaths == nil {
-		e.epiPaths = make([][]flow.PathFlow, len(e.Pairs))
-		for _, pf := range e.LP.Paths {
-			e.epiPaths[pf.Commodity] = append(e.epiPaths[pf.Commodity], pf)
-		}
-		e.epiWeights = make([][]float64, len(e.Pairs))
-		for i, paths := range e.epiPaths {
-			if len(paths) == 0 {
-				continue
-			}
-			w := make([]float64, len(paths))
-			for j, pf := range paths {
-				w[j] = pf.Flow
-			}
-			e.epiWeights[i] = w
-		}
+		e.epiPaths, e.epiWeights = deriveEpiTables(len(e.Pairs), e.LP)
 	}
 	return e.epiPaths, e.epiWeights
+}
+
+// deriveEpiTables groups a solution's paths by commodity and extracts the
+// flow sampling weights. The fixed construction LP caches the result (see
+// epiTables); the carry-aware per-slot re-solve derives slot-local tables.
+func deriveEpiTables(numPairs int, sol *flow.Solution) ([][]flow.PathFlow, [][]float64) {
+	paths := make([][]flow.PathFlow, numPairs)
+	for _, pf := range sol.Paths {
+		paths[pf.Commodity] = append(paths[pf.Commodity], pf)
+	}
+	weights := make([][]float64, numPairs)
+	for i, list := range paths {
+		if len(list) == 0 {
+			continue
+		}
+		w := make([]float64, len(list))
+		for j, pf := range list {
+			w[j] = pf.Flow
+		}
+		weights[i] = w
+	}
+	return paths, weights
 }

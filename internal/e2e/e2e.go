@@ -12,6 +12,7 @@ import (
 
 	"see/internal/chaos"
 	"see/internal/core"
+	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/state"
 	"see/internal/topo"
@@ -38,6 +39,14 @@ type Options struct {
 	// the matching field in core.Options. E2E's restricted segment options
 	// key its cache entries separately from full SEE's.
 	Warm *warm.Cache
+	// FidelityFloors is the per-request minimum delivered end-to-end
+	// fidelity; see the matching field in core.Options. E2E connections
+	// have no swaps, so only transmission depolarization (and banked age
+	// decay) can miss a floor.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder is accepted for configuration uniformity; E2E connections
+	// have no junctions, so both orders are the same no-op.
+	SwapOrder qnet.SwapOrder
 }
 
 // Engine runs E2E time slots.
@@ -67,6 +76,8 @@ func NewEngineCtx(ctx context.Context, net *topo.Network, pairs []topo.SDPair, o
 	coreOpts.Tracer = opts.Tracer
 	coreOpts.Chaos = opts.Chaos
 	coreOpts.Warm = opts.Warm
+	coreOpts.FidelityFloors = opts.FidelityFloors
+	coreOpts.SwapOrder = opts.SwapOrder
 	inner, err := core.NewEngineCtx(ctx, net, pairs, coreOpts)
 	if err != nil {
 		return nil, err

@@ -26,6 +26,8 @@ import (
 	"see/internal/core"
 	"see/internal/e2e"
 	"see/internal/greedy"
+	"see/internal/oracle"
+	"see/internal/qnet"
 	"see/internal/reps"
 	"see/internal/sched"
 	"see/internal/state"
@@ -67,6 +69,22 @@ type Config struct {
 	// budgeted construction (a non-nil ctx) bypasses the cache, so enabling
 	// it never changes results — only how fast rebuilds go.
 	Warm *warm.Cache
+	// FidelityFloors is the per-request minimum delivered end-to-end
+	// fidelity (see qnet.FloorSpec and DESIGN.md §10). Engines never
+	// attempt a candidate assembly whose predicted fidelity misses its
+	// pair's floor. Nil (or an all-zero spec) disables enforcement and
+	// leaves every engine byte-identical to pre-floor behavior.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder selects the stitch phase's swap schedule. The zero value
+	// (qnet.SwapOrderPath) is the historical left-to-right path order and
+	// is byte-identical to pre-knob behavior; qnet.SwapOrderGreedy swaps
+	// the least reliable junction first.
+	SwapOrder qnet.SwapOrder
+	// CarryAwareLP re-prices the SEE LP each slot with banked-inventory
+	// weights, so column generation prefers stitches that reuse
+	// high-fidelity carried segments (no-op without an attached bank or
+	// with an empty one; see flow.Options.CarryWeights).
+	CarryAwareLP bool
 }
 
 // Builder constructs one scheme's engine; ctx (nil = never cancelled)
@@ -83,6 +101,7 @@ var builders = map[sched.Algorithm]Builder{
 	sched.QPass:        newQPass,
 	sched.ContendAware: newContendAware,
 	sched.SEEAware:     newSEEAware,
+	sched.Oracle:       newOracle,
 }
 
 // List returns every registered algorithm in ascending order. The
@@ -135,17 +154,22 @@ func newSEE(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Con
 	co.Tracer = cfg.Tracer
 	co.Chaos = cfg.Chaos
 	co.Warm = cfg.Warm
+	co.FidelityFloors = cfg.FidelityFloors
+	co.SwapOrder = cfg.SwapOrder
+	co.CarryAwareLP = cfg.CarryAwareLP
 	return core.NewEngineCtx(ctx, net, pairs, co)
 }
 
 func newREPS(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm}
+	o := reps.Options{KPaths: cfg.KPaths, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm,
+		FidelityFloors: cfg.FidelityFloors, SwapOrder: cfg.SwapOrder}
 	o.Flow.Workers = cfg.Workers
 	return reps.NewEngineCtx(ctx, net, pairs, o)
 }
 
 func newE2E(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
-	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm})
+	return e2e.NewEngineCtx(ctx, net, pairs, e2e.Options{KPaths: cfg.KPaths, Workers: cfg.Workers, Tracer: cfg.Tracer, Chaos: cfg.Chaos, Warm: cfg.Warm,
+		FidelityFloors: cfg.FidelityFloors, SwapOrder: cfg.SwapOrder})
 }
 
 func newContend(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
@@ -169,6 +193,8 @@ func contendOptions(cfg Config) contend.Options {
 	o.Tracer = cfg.Tracer
 	o.Chaos = cfg.Chaos
 	o.Warm = cfg.Warm
+	o.FidelityFloors = cfg.FidelityFloors
+	o.SwapOrder = cfg.SwapOrder
 	return o
 }
 
@@ -211,6 +237,9 @@ func newSEEAware(ctx context.Context, net *topo.Network, pairs []topo.SDPair, cf
 	co.Tracer = cfg.Tracer
 	co.Chaos = cfg.Chaos
 	co.Warm = cfg.Warm
+	co.FidelityFloors = cfg.FidelityFloors
+	co.SwapOrder = cfg.SwapOrder
+	co.CarryAwareLP = cfg.CarryAwareLP
 	co.Algorithm = sched.SEEAware
 	co.PlanChannels, co.PlanMemory, co.ForecastAvoided = forecastTables(cfg.Chaos, net)
 	// Always on (not gated on a non-zero forecast) so planning on a full
@@ -252,7 +281,16 @@ func newGreedy(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Co
 	o.Tracer = cfg.Tracer
 	o.Chaos = cfg.Chaos
 	o.Warm = cfg.Warm
+	o.FidelityFloors = cfg.FidelityFloors
+	o.SwapOrder = cfg.SwapOrder
 	return greedy.NewEngine(net, pairs, o)
+}
+
+// newOracle builds the capacity-bound pseudo-engine. It takes only the
+// tracer from the shared Config, on purpose: capacity bounds depend on the
+// topology and the demand set alone, not on any scheme tuning.
+func newOracle(_ context.Context, net *topo.Network, pairs []topo.SDPair, cfg Config) (sched.Engine, error) {
+	return oracle.NewEngine(net, pairs, cfg.Tracer)
 }
 
 // maxConstructionRetries bounds how many slots retry a failed LP

@@ -20,6 +20,7 @@ import (
 	"see/internal/chaos"
 	"see/internal/engines"
 	"see/internal/metrics"
+	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/state"
 	"see/internal/topo"
@@ -97,6 +98,17 @@ type Params struct {
 	// or sched.Contend to sweep the repo-grown baselines on the same
 	// instances.
 	Algorithms []Algorithm
+	// FidelityFloors enforces per-request minimum delivered fidelity in
+	// every engine's stitch phase (see qnet.FloorSpec); nil or all-zero
+	// disables enforcement and keeps trials byte-identical to the
+	// pre-floor pipeline.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder selects the junction-swap sampling order (path order by
+	// default; see qnet.SwapOrder).
+	SwapOrder qnet.SwapOrder
+	// CarryAwareLP re-prices the provisioning LP on slots that withdrew
+	// banked segments (only meaningful with CarryOver).
+	CarryAwareLP bool
 }
 
 // DefaultParams returns the paper's default setting.
@@ -157,6 +169,21 @@ func (p Params) Validate() error {
 			return fmt.Errorf("experiment: unknown algorithm %v", alg)
 		}
 	}
+	if f := p.FidelityFloors; f != nil {
+		if f.Default < 0 || f.Default > 1 {
+			return fmt.Errorf("experiment: fidelity floor %v outside [0,1]", f.Default)
+		}
+		for pair, v := range f.PerPair {
+			if v < 0 || v > 1 {
+				return fmt.Errorf("experiment: fidelity floor %v for pair %d outside [0,1]", v, pair)
+			}
+		}
+	}
+	switch p.SwapOrder {
+	case qnet.SwapOrderPath, qnet.SwapOrderGreedy:
+	default:
+		return fmt.Errorf("experiment: unknown SwapOrder %v", p.SwapOrder)
+	}
 	return nil
 }
 
@@ -190,6 +217,9 @@ func (p Params) engineConfig() engines.Config {
 		StrictProvisioning: p.StrictProvisioning,
 		Workers:            p.Workers,
 		Tracer:             p.Tracer,
+		FidelityFloors:     p.FidelityFloors,
+		SwapOrder:          p.SwapOrder,
+		CarryAwareLP:       p.CarryAwareLP,
 	}
 }
 

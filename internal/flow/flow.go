@@ -118,6 +118,16 @@ type Options struct {
 	// deterministic: the same inputs yield a byte-identical Solution at
 	// any worker count.
 	Workers int
+	// CarryWeights, when non-nil, divides each segment edge's priced
+	// realization cost by its weight (indexed by segment-graph edge ID;
+	// weights are ≥ 1, with 1 meaning no bias). The carry-aware SEE
+	// engine derives the weights from its banked inventory so column
+	// generation prefers paths that can stitch through already-realized,
+	// high-fidelity carried segments. The bias steers only which columns
+	// pricing proposes — every generated column keeps its true
+	// coefficients, so the returned Solution is a valid LP optimum over
+	// the generated column set. Nil leaves pricing untouched.
+	CarryWeights []float64
 	// Arena, when non-nil, carries the dual-independent candidate tables
 	// and per-worker pricing scratch across sequential solves over the
 	// same segment set (REPS's progressive rounding re-solves the LP up
@@ -552,6 +562,12 @@ func (m *model) priceRealizations(ctx context.Context, duals []float64) error {
 				best = cost
 				bestK = k
 			}
+		}
+		// Carry-aware bias: edges covered by banked inventory price
+		// cheaper (both the plain Dijkstra and the layered DP read
+		// bestCost, so this is the single application point).
+		if cw := m.opts.CarryWeights; id < len(cw) && cw[id] > 1 {
+			best /= cw[id]
 		}
 		m.bestCost[id] = best
 		m.bestCandIdx[id] = int32(bestK)

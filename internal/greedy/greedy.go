@@ -56,6 +56,14 @@ type Options struct {
 	// (re)builds over the same network (see internal/warm). The engine
 	// solves no LP, so the candidate build is the only cacheable stage.
 	Warm *warm.Cache
+	// FidelityFloors is the per-request minimum delivered end-to-end
+	// fidelity; the stitch loop never attempts an assembly whose predicted
+	// fidelity misses its pair's floor (see qnet.FloorPolicy and the
+	// matching field in core.Options). Nil or all-zero disables it.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder selects the stitch phase's swap schedule; the zero value
+	// (qnet.SwapOrderPath) is the historical left-to-right order.
+	SwapOrder qnet.SwapOrder
 }
 
 // DefaultOptions returns the greedy defaults.
@@ -359,7 +367,7 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
 			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
 		}
-		plan, _ = state.TrimPlan(plan, withdrawn)
+		plan, _ = e.bank.TrimPlan(plan, withdrawn)
 	}
 	res.Attempts = plan.TotalAttempts()
 
@@ -422,10 +430,15 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
 	perPair := sc.perPair
 	clear(perPair)
+	fp := qnet.NewFloorPolicy(e.opts.FidelityFloors, e.Net)
+	var floorDead []bool // planned paths proven unable to meet their floor
 	for {
 		progress := false
-		for _, pp := range e.paths {
+		for ppi, pp := range e.paths {
 			if perPair[pp.commodity] >= e.ConnCap[pp.commodity] {
+				continue
+			}
+			if floorDead != nil && floorDead[ppi] {
 				continue
 			}
 			ok := true
@@ -440,11 +453,23 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 			}
 			conn := &qnet.Connection{Pair: pp.commodity, Nodes: pp.nodes}
 			for _, h := range pp.hops {
-				conn.Segments = append(conn.Segments, pool.Take(h.pair))
+				conn.Segments = append(conn.Segments, fp.Take(pool, pp.commodity, h.pair))
+			}
+			if fp.Rejects(pp.commodity, conn.Segments) {
+				for _, s := range conn.Segments {
+					pool.Return(s)
+				}
+				if floorDead == nil {
+					floorDead = make([]bool, len(e.paths))
+				}
+				floorDead[ppi] = true
+				res.FloorRejected++
+				tr.Incident(sched.IncidentFloorReject, 1)
+				continue
 			}
 			res.Assembled++
 			progress = true
-			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			ok = conn.EstablishOrderedObserved(e.Net, pool, rng, swapObs, e.opts.SwapOrder)
 			tr.ConnectionAssembled(pp.commodity, ok)
 			if ok {
 				if err := conn.Validate(); err != nil {

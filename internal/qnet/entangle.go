@@ -2,6 +2,7 @@ package qnet
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -20,6 +21,11 @@ type Segment struct {
 	Cand *segment.Candidate
 	// consumed marks the segment as used by a connection.
 	consumed bool
+	// wernerScale is the age-decay multiplier on the segment's Werner
+	// parameter (0 means the zero-value default of 1: a fresh segment).
+	// The state bank stamps it at withdrawal from the segment's banked
+	// age, so carried segments arrive degraded.
+	wernerScale float64
 }
 
 // Pair returns the endpoint pair key.
@@ -27,6 +33,19 @@ func (s *Segment) Pair() segment.PairKey { return segment.MakePairKey(s.A, s.B) 
 
 // Consumed reports whether the segment has been assigned to a connection.
 func (s *Segment) Consumed() bool { return s.consumed }
+
+// WernerScale returns the age-decay multiplier applied to the segment's
+// Werner parameter on top of its creation fidelity (1 for fresh segments).
+func (s *Segment) WernerScale() float64 {
+	if s.wernerScale == 0 {
+		return 1
+	}
+	return s.wernerScale
+}
+
+// SetWernerScale stamps the age-decay multiplier (the state bank calls it
+// at withdrawal; values are clamped to [0,1] by construction there).
+func (s *Segment) SetWernerScale(w float64) { s.wernerScale = w }
 
 // AttemptPlan maps each candidate realization to the number of creation
 // attempts reserved for it (the x^k_uv of the paper).
@@ -271,6 +290,27 @@ func (p *Pool) Return(s *Segment) {
 	s.consumed = false
 }
 
+// TakeBest consumes the pair's unconsumed segment maximizing score (first
+// wins on ties, so the choice is deterministic), or returns nil if none
+// remain. Floor-enforcing engines use it so a rejected assembly proves no
+// segment combination for the path could have met the floor.
+func (p *Pool) TakeBest(pk segment.PairKey, score func(s *Segment) float64) *Segment {
+	var best *Segment
+	bestScore := math.Inf(-1)
+	for _, s := range p.byPair[pk] {
+		if s.consumed {
+			continue
+		}
+		if sc := score(s); sc > bestScore {
+			best, bestScore = s, sc
+		}
+	}
+	if best != nil {
+		best.consumed = true
+	}
+	return best
+}
+
 // Pairs returns the endpoint pairs with at least one unconsumed segment,
 // sorted.
 func (p *Pool) Pairs() []segment.PairKey {
@@ -318,6 +358,12 @@ type Connection struct {
 	// Spares are extra segments consumed by junction-level swap retries
 	// (see EstablishWithRetries).
 	Spares []*Segment
+	// Fidelity is the delivered end-to-end fidelity under the default
+	// Werner model, recorded when the connection is established (0 until
+	// then). It is computed by the same PredictFidelity the floor checks
+	// use, over Segments only — spares replace measured photons, they do
+	// not change the delivered pair count or composition length.
+	Fidelity float64
 }
 
 // Junctions returns the intermediate nodes that must perform quantum
@@ -389,25 +435,72 @@ type SwapObserver func(junction int, ok bool)
 // EstablishWithRetriesObserved is EstablishWithRetries with a per-swap
 // observer (may be nil); the observer does not affect the rng stream.
 func (c *Connection) EstablishWithRetriesObserved(net *topo.Network, pool *Pool, rng *rand.Rand, obs SwapObserver) bool {
-	for i := 1; i+1 < len(c.Nodes); i++ {
-		junction := c.Nodes[i]
-		left := segment.MakePairKey(c.Nodes[i-1], c.Nodes[i])
-		right := segment.MakePairKey(c.Nodes[i], c.Nodes[i+1])
-		for {
-			ok := xrand.Bernoulli(rng, net.SwapProb[junction])
-			if obs != nil {
-				obs(junction, ok)
-			}
-			if ok {
+	return c.EstablishOrderedObserved(net, pool, rng, obs, SwapOrderPath)
+}
+
+// EstablishOrderedObserved is EstablishWithRetriesObserved under an
+// explicit swap-order policy. SwapOrderPath consumes the rng stream
+// byte-identically to the historical source-to-destination loop;
+// SwapOrderGreedy visits junctions in ascending swap probability (ties by
+// path position), so connections doomed by an unreliable junction fail
+// before reliable junctions burn rng draws and spare segments. On success
+// the delivered Fidelity is recorded from the connection's segments —
+// swap-order-independent by the Werner algebra's commutativity.
+func (c *Connection) EstablishOrderedObserved(net *topo.Network, pool *Pool, rng *rand.Rand, obs SwapObserver, order SwapOrder) bool {
+	established := true
+	if order == SwapOrderGreedy && len(c.Nodes) > 3 {
+		idx := make([]int, 0, len(c.Nodes)-2)
+		for i := 1; i+1 < len(c.Nodes); i++ {
+			idx = append(idx, i)
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return net.SwapProb[c.Nodes[idx[a]]] < net.SwapProb[c.Nodes[idx[b]]]
+		})
+		for _, i := range idx {
+			if !c.swapAtJunction(net, pool, rng, obs, i) {
+				established = false
 				break
 			}
-			// Swap failed: the segments on both sides of the junction are
-			// destroyed. Retry only if spares exist on both sides.
-			if pool.Available(left) < 1 || pool.Available(right) < 1 {
-				return false
+		}
+	} else {
+		for i := 1; i+1 < len(c.Nodes); i++ {
+			if !c.swapAtJunction(net, pool, rng, obs, i) {
+				established = false
+				break
 			}
-			c.Spares = append(c.Spares, pool.Take(left), pool.Take(right))
 		}
 	}
-	return true
+	if established {
+		c.Fidelity = DefaultFidelityModel().PredictFidelity(c.Segments, func(s *Segment) float64 {
+			if s.Cand == nil {
+				return 0
+			}
+			return net.PathLengthKM(s.Cand.Path)
+		})
+	}
+	return established
+}
+
+// swapAtJunction samples the swap at junction index i of the path,
+// retrying on spare segments of the junction's two incident hops while the
+// pool holds a spare on each side.
+func (c *Connection) swapAtJunction(net *topo.Network, pool *Pool, rng *rand.Rand, obs SwapObserver, i int) bool {
+	junction := c.Nodes[i]
+	left := segment.MakePairKey(c.Nodes[i-1], c.Nodes[i])
+	right := segment.MakePairKey(c.Nodes[i], c.Nodes[i+1])
+	for {
+		ok := xrand.Bernoulli(rng, net.SwapProb[junction])
+		if obs != nil {
+			obs(junction, ok)
+		}
+		if ok {
+			return true
+		}
+		// Swap failed: the segments on both sides of the junction are
+		// destroyed. Retry only if spares exist on both sides.
+		if pool.Available(left) < 1 || pool.Available(right) < 1 {
+			return false
+		}
+		c.Spares = append(c.Spares, pool.Take(left), pool.Take(right))
+	}
 }

@@ -2,6 +2,7 @@ package qnet
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -103,6 +104,96 @@ func TestConnectionFidelity(t *testing.T) {
 	}
 	if m.ConnectionFidelity(&Connection{}, lengthOf) != 0 {
 		t.Fatal("empty connection must have zero fidelity")
+	}
+}
+
+// Werner parameter and fidelity are inverse affine maps of each other; the
+// algebra below (floors, decay, swap composition) silently assumes the
+// round-trip is exact.
+func TestWernerFidelityRoundTrip(t *testing.T) {
+	for _, f := range []float64{0.25, 0.3, 0.5, 0.75, 0.9, 0.99, 1} {
+		if got := fidelityOf(wernerOf(f)); math.Abs(got-f) > 1e-12 {
+			t.Errorf("fidelityOf(wernerOf(%v)) = %v", f, got)
+		}
+	}
+	for _, w := range []float64{0, 0.1, 0.5, 0.9, 1} {
+		if got := wernerOf(fidelityOf(w)); math.Abs(got-w) > 1e-12 {
+			t.Errorf("wernerOf(fidelityOf(%v)) = %v", w, got)
+		}
+	}
+	// Endpoints: w=0 is maximally mixed (F=1/4), w=1 is a perfect pair.
+	if got := fidelityOf(0); got != 0.25 {
+		t.Errorf("fidelityOf(0) = %v, want 0.25", got)
+	}
+	if got := fidelityOf(1); got != 1 {
+		t.Errorf("fidelityOf(1) = %v, want 1", got)
+	}
+}
+
+// Swap composition is commutative in the Werner parameter — together with
+// associativity (tested above) this is what makes delivered fidelity
+// independent of the junction swap order, which the SwapOrderGreedy policy
+// relies on.
+func TestSwapFidelityCommutative(t *testing.T) {
+	m := DefaultFidelityModel()
+	f := func(a, b float64) bool {
+		f1 := 0.25 + math.Mod(math.Abs(a), 0.75)
+		f2 := 0.25 + math.Mod(math.Abs(b), 0.75)
+		return math.Abs(m.SwapFidelity(f1, f2)-m.SwapFidelity(f2, f1)) <= 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PredictFidelity must agree with the left-to-right pairwise fold for
+// pristine segments, stay invariant under any permutation of the chain
+// (swap-order independence), never exceed any single segment's fidelity,
+// and decrease when a segment carries banked age decay. Randomized sweep
+// over chain lengths, span lengths and decay scales, fixed seed.
+func TestPredictFidelityProperties(t *testing.T) {
+	m := DefaultFidelityModel()
+	rng := rand.New(rand.NewSource(20220406))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(5)
+		segs := make([]*Segment, n)
+		lengths := make(map[*Segment]float64, n)
+		for i := range segs {
+			segs[i] = &Segment{A: i, B: i + 1}
+			lengths[segs[i]] = rng.Float64() * 4000
+		}
+		lengthOf := func(s *Segment) float64 { return lengths[s] }
+
+		got := m.PredictFidelity(segs, lengthOf)
+		want := m.SegmentFidelity(lengthOf(segs[0]))
+		for _, s := range segs[1:] {
+			want = m.SwapFidelity(want, m.SegmentFidelity(lengthOf(s)))
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("trial %d: PredictFidelity = %v, pairwise fold = %v", trial, got, want)
+		}
+		for _, s := range segs {
+			if seg := m.SegmentFidelity(lengthOf(s)); got > seg+1e-12 {
+				t.Fatalf("trial %d: composed fidelity %v exceeds segment fidelity %v", trial, got, seg)
+			}
+		}
+
+		perm := rng.Perm(n)
+		shuffled := make([]*Segment, n)
+		for i, j := range perm {
+			shuffled[i] = segs[j]
+		}
+		if shuf := m.PredictFidelity(shuffled, lengthOf); math.Abs(shuf-got) > 1e-12 {
+			t.Fatalf("trial %d: permutation changed fidelity: %v vs %v", trial, shuf, got)
+		}
+
+		// Age decay on any one segment strictly degrades the chain.
+		k := rng.Intn(n)
+		segs[k].SetWernerScale(0.5 + rng.Float64()*0.4)
+		if aged := m.PredictFidelity(segs, lengthOf); aged >= got {
+			t.Fatalf("trial %d: aged chain fidelity %v not below pristine %v", trial, aged, got)
+		}
+		segs[k].SetWernerScale(1)
 	}
 }
 

@@ -1,0 +1,67 @@
+package qnet
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseFloorSpec checks the fidelity-floor parser on arbitrary input:
+// it must never panic, reject NaN and out-of-range floors, and any spec it
+// accepts must round-trip through the canonical String rendering —
+// re-parsing the rendering succeeds, yields an equal spec, and renders to
+// the same string (String is a fixed point after one canonicalization).
+func FuzzParseFloorSpec(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"0.8",
+		"0",
+		"1",
+		"0.8;3=0.95",
+		"2=0.9",
+		"0.5;0=0.6;1=0.7;2=0.8",
+		"0.8;0.9",
+		"3=0.9;3=0.95",
+		"-0.1",
+		"1.5",
+		"NaN",
+		"+Inf",
+		"-1=0.5",
+		"x=0.5",
+		"3=",
+		"=0.5",
+		";;",
+		"0.8;",
+		"1e-3",
+		"9999999=1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseFloorSpec(s)
+		if err != nil {
+			return
+		}
+		if spec == nil {
+			t.Fatalf("ParseFloorSpec(%q) returned nil spec and nil error", s)
+		}
+		if spec.Default < 0 || spec.Default > 1 {
+			t.Fatalf("accepted out-of-range default floor %v from %q", spec.Default, s)
+		}
+		for pair, v := range spec.PerPair {
+			if pair < 0 || v < 0 || v > 1 {
+				t.Fatalf("accepted out-of-range entry %d=%v from %q", pair, v, s)
+			}
+		}
+		canon := spec.String()
+		again, err := ParseFloorSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q (from %q) does not re-parse: %v", canon, s, err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Fatalf("round-trip changed the spec: %q gave %+v, canonical %q gave %+v", s, spec, canon, again)
+		}
+		if fixed := again.String(); fixed != canon {
+			t.Fatalf("String is not canonical: %q then %q", canon, fixed)
+		}
+	})
+}

@@ -52,6 +52,14 @@ type Options struct {
 	// same network (see internal/warm and the matching field in
 	// core.Options). Bypassed for budgeted construction (non-nil ctx).
 	Warm *warm.Cache
+	// FidelityFloors is the per-request minimum delivered end-to-end
+	// fidelity; EPS never attempts an assembly whose predicted fidelity
+	// misses its pair's floor (see qnet.FloorPolicy and the matching field
+	// in core.Options). Nil or all-zero disables enforcement.
+	FidelityFloors *qnet.FloorSpec
+	// SwapOrder selects the stitch phase's swap schedule; the zero value
+	// (qnet.SwapOrderPath) is the historical left-to-right order.
+	SwapOrder qnet.SwapOrder
 }
 
 func (o Options) withDefaults() Options {
@@ -356,7 +364,7 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		if withdrawn = e.bank.WithdrawAll(); len(withdrawn) > 0 {
 			tr.Incident(sched.IncidentBankWithdraw, len(withdrawn))
 		}
-		plan, _ = state.TrimPlan(plan, withdrawn)
+		plan, _ = e.bank.TrimPlan(plan, withdrawn)
 	}
 	res.Attempts = plan.TotalAttempts()
 
@@ -408,8 +416,9 @@ func (e *Engine) RunSlot(rng *rand.Rand) (*sched.SlotResult, error) {
 		sc.pool.Reset(slotSegs)
 	}
 	pool := sc.pool
-	conns, assembled := e.selectFromPoolScratch(pool, rng, sc)
+	conns, assembled, floorRejected := e.selectFromPoolScratch(pool, rng, sc)
 	res.Assembled = assembled
+	res.FloorRejected = floorRejected
 	for _, c := range conns {
 		if err := c.Validate(); err != nil {
 			return nil, fmt.Errorf("reps: invalid connection: %w", err)
@@ -452,17 +461,21 @@ func (e *Engine) selectPaths(created []*qnet.Segment, rng *rand.Rand) ([]*qnet.C
 // path uses it so carried links mix with fresh ones and the leftovers can
 // be banked afterwards.
 func (e *Engine) selectFromPool(pool *qnet.Pool, rng *rand.Rand) ([]*qnet.Connection, int) {
-	return e.selectFromPoolScratch(pool, rng, nil)
+	conns, attempts, _ := e.selectFromPoolScratch(pool, rng, nil)
+	return conns, attempts
 }
 
 // selectFromPoolScratch is selectFromPool over an optional slot scratch
 // (reused auxiliary graph, per-pair counters and Dijkstra buffers, plus
 // the early-stop targeted queries); nil allocates fresh. Both paths
 // produce identical connections.
-func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) ([]*qnet.Connection, int) {
+func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slotScratch) ([]*qnet.Connection, int, int) {
 	tr := e.tracer
 	swapObs := qnet.SwapObserver(tr.SwapResolved)
 	attempts := 0
+	floorRejected := 0
+	fp := qnet.NewFloorPolicy(e.opts.FidelityFloors, e.Net)
+	var floorDead []bool // pairs whose best route missed the floor
 	var aux *graph.Graph
 	var auxPairs []segment.PairKey
 	var dij *graph.DijkstraScratch
@@ -512,6 +525,9 @@ func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slot
 			if perPair[i] >= e.ConnCap[i] {
 				continue
 			}
+			if floorDead != nil && floorDead[i] {
+				continue
+			}
 			path, dist := graph.ShortestPathTarget(aux, sd.S, sd.D, graph.DijkstraOptions{
 				NodeWeight: nodeWeight,
 				EdgeWeight: edgeWeight,
@@ -522,7 +538,7 @@ func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slot
 			conn := &qnet.Connection{Pair: i, Nodes: path}
 			ok := true
 			for h := 0; h+1 < len(path); h++ {
-				seg := pool.Take(segment.MakePairKey(path[h], path[h+1]))
+				seg := fp.Take(pool, i, segment.MakePairKey(path[h], path[h+1]))
 				if seg == nil {
 					ok = false
 					break
@@ -535,9 +551,21 @@ func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slot
 				}
 				continue
 			}
+			if fp.Rejects(i, conn.Segments) {
+				for _, s := range conn.Segments {
+					pool.Return(s)
+				}
+				if floorDead == nil {
+					floorDead = make([]bool, len(e.Pairs))
+				}
+				floorDead[i] = true
+				floorRejected++
+				tr.Incident(sched.IncidentFloorReject, 1)
+				continue
+			}
 			progress = true
 			attempts++
-			ok = conn.EstablishWithRetriesObserved(e.Net, pool, rng, swapObs)
+			ok = conn.EstablishOrderedObserved(e.Net, pool, rng, swapObs, e.opts.SwapOrder)
 			tr.ConnectionAssembled(i, ok)
 			if ok {
 				out = append(out, conn)
@@ -545,7 +573,7 @@ func (e *Engine) selectFromPoolScratch(pool *qnet.Pool, rng *rand.Rand, sc *slot
 			}
 		}
 		if !progress {
-			return out, attempts
+			return out, attempts, floorRejected
 		}
 	}
 }

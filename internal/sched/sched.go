@@ -68,6 +68,13 @@ const (
 	// are dropped from LP column pricing and announced capacity reductions
 	// shrink the provisioning tables.
 	SEEAware
+	// Oracle is the capacity-bound oracle: it establishes nothing and
+	// consumes no randomness, instead computing per-pair entanglement-
+	// capacity upper bounds from the topology (min-cut over channel
+	// capacities and expected link rates; see internal/oracle) so sweeps
+	// can report every engine's throughput as a fraction of what the
+	// network could theoretically deliver.
+	Oracle
 )
 
 // Algorithms lists the paper's schemes in display order. Greedy and
@@ -94,14 +101,16 @@ func (a Algorithm) String() string {
 		return "Contend-Aware"
 	case SEEAware:
 		return "SEE-Aware"
+	case Oracle:
+		return "Oracle"
 	default:
 		return fmt.Sprintf("Algorithm(%d)", int(a))
 	}
 }
 
 // ParseAlgorithm maps a case-insensitive scheme name ("see", "reps",
-// "e2e", "greedy", "contend", "qpass", "contend-aware", "see-aware") to
-// its Algorithm.
+// "e2e", "greedy", "contend", "qpass", "contend-aware", "see-aware",
+// "oracle") to its Algorithm.
 func ParseAlgorithm(s string) (Algorithm, error) {
 	switch strings.ToLower(s) {
 	case "see":
@@ -120,8 +129,10 @@ func ParseAlgorithm(s string) (Algorithm, error) {
 		return ContendAware, nil
 	case "see-aware":
 		return SEEAware, nil
+	case "oracle":
+		return Oracle, nil
 	default:
-		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e, greedy, contend, qpass, contend-aware or see-aware)", s)
+		return 0, fmt.Errorf("sched: unknown algorithm %q (want see, reps, e2e, greedy, contend, qpass, contend-aware, see-aware or oracle)", s)
 	}
 }
 
@@ -168,6 +179,10 @@ type SlotResult struct {
 	Assembled int
 	// Established is the throughput: connections whose swaps all succeeded.
 	Established int
+	// FloorRejected counts candidate assemblies the stitch phase refused
+	// because their predicted end-to-end fidelity missed the request's
+	// floor (zero when no fidelity floors are configured).
+	FloorRejected int
 	// PerPair is the established count per SD pair.
 	PerPair []int
 	// Connections lists the established connections.

@@ -93,10 +93,15 @@ const (
 	// the fault plan scheduled their outage in advance (see
 	// chaos.Forecast); it fires every slot the forecast is non-empty.
 	IncidentForecastAvoid
+	// IncidentFloorReject counts candidate connection assemblies the
+	// stitch phase rolled back because their predicted end-to-end fidelity
+	// missed the request's floor (see qnet.FloorSpec); it never fires with
+	// floors disabled.
+	IncidentFloorReject
 )
 
 // NumIncidents is the number of incident kinds.
-const NumIncidents = 12
+const NumIncidents = 13
 
 // String implements fmt.Stringer.
 func (i Incident) String() string {
@@ -125,6 +130,8 @@ func (i Incident) String() string {
 		return "flap"
 	case IncidentForecastAvoid:
 		return "forecast_avoid"
+	case IncidentFloorReject:
+		return "floor_reject"
 	default:
 		return fmt.Sprintf("Incident(%d)", int(i))
 	}

@@ -149,13 +149,14 @@ type Server struct {
 	cfg    Config
 	stream *xrand.Stream
 
-	slot        int         // next slot index
-	nextID      int         // next request ID
-	queues      [][]Request // admitted, per SD pair, in ID order
-	class       [NumClasses]ClassCounts
-	userArrived []int
-	userServed  []int
-	established int // engine connections over the whole run
+	slot          int         // next slot index
+	nextID        int         // next request ID
+	queues        [][]Request // admitted, per SD pair, in ID order
+	class         [NumClasses]ClassCounts
+	userArrived   []int
+	userServed    []int
+	established   int // engine connections over the whole run
+	floorRejected int // stitch assemblies rolled back by fidelity floors
 }
 
 // New builds a traffic server over an engine serving `pairs` SD pairs.
@@ -277,6 +278,7 @@ func (s *Server) RunSlot() (*SlotStats, error) {
 		return nil, fmt.Errorf("serve: engine served %d pairs, server has %d", len(res.PerPair), s.pairs)
 	}
 	s.established += res.Established
+	s.floorRejected += res.FloorRejected
 	stats.Established = res.Established
 
 	for i, conns := range res.PerPair {
@@ -389,6 +391,10 @@ type Report struct {
 	// Established is the engine's total connection count (service capacity
 	// offered; Served is the part that met demand).
 	Established int
+	// FloorRejected is the engine's total count of candidate assemblies
+	// rolled back because their predicted fidelity missed the request
+	// floor (zero when no floors are configured).
+	FloorRejected int
 	// Throughput is Served per slot.
 	Throughput float64
 	// Fairness is Jain's index over per-user served counts, restricted to
@@ -400,7 +406,7 @@ type Report struct {
 
 // Report summarizes the run so far.
 func (s *Server) Report() *Report {
-	r := &Report{Slots: s.slot, Backlog: s.backlog(), Established: s.established}
+	r := &Report{Slots: s.slot, Backlog: s.backlog(), Established: s.established, FloorRejected: s.floorRejected}
 	for c := range s.class {
 		cc := s.class[c]
 		cr := ClassReport{ClassCounts: cc}

@@ -49,6 +49,7 @@ func (s *Server) Snapshot() (*ckpt.Snapshot, error) {
 	e.Int(s.nextID)
 	e.Int(s.cfg.Process.Phase())
 	e.Int(s.established)
+	e.Int(s.floorRejected)
 	e.Uvarint(uint64(s.pairs))
 	for _, q := range s.queues {
 		e.Uvarint(uint64(len(q)))
@@ -139,6 +140,7 @@ func (s *Server) Restore(snap *ckpt.Snapshot) error {
 	nextID := d.Int()
 	phase := d.Int()
 	established := d.Int()
+	floorRejected := d.Int()
 	pairs := d.Uvarint()
 	if d.Err() == nil && pairs != uint64(s.pairs) {
 		return fmt.Errorf("serve: checkpoint has %d SD pairs, server has %d", pairs, s.pairs)
@@ -238,6 +240,7 @@ func (s *Server) Restore(snap *ckpt.Snapshot) error {
 	s.slot = slot
 	s.nextID = nextID
 	s.established = established
+	s.floorRejected = floorRejected
 	s.queues = queues
 	s.class = class
 	s.userArrived = userArrived
@@ -305,14 +308,15 @@ func (s *Server) debugState() any {
 		queued += len(s.queues[i])
 	}
 	return map[string]any{
-		"fingerprint":  s.Fingerprint(),
-		"slot":         s.slot,
-		"next_id":      s.nextID,
-		"rng":          s.stream.Cursor(),
-		"established":  s.established,
-		"backlog":      queued,
-		"arrival_kind": s.cfg.Process.String(),
-		"phase":        s.cfg.Process.Phase(),
-		"classes":      classes,
+		"fingerprint":    s.Fingerprint(),
+		"slot":           s.slot,
+		"next_id":        s.nextID,
+		"rng":            s.stream.Cursor(),
+		"established":    s.established,
+		"floor_rejected": s.floorRejected,
+		"backlog":        queued,
+		"arrival_kind":   s.cfg.Process.String(),
+		"phase":          s.cfg.Process.Phase(),
+		"classes":        classes,
 	}
 }

@@ -40,6 +40,7 @@ package state
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"see/internal/chaos"
@@ -70,6 +71,19 @@ type Policy struct {
 	// Seed drives the stochastic survival hash stream (the fault plan's
 	// seed when carry-over runs under a fault plan).
 	Seed int64
+	// WernerRetention, when in (0,1), is the per-boundary age decay of a
+	// banked segment's Werner parameter: a segment withdrawn n slot
+	// boundaries after its creation carries Werner scale retention^n
+	// (qnet.Segment.WernerScale), so carried segments arrive degraded.
+	// 0 (or >= 1) disables decay — withdrawn segments stay pristine and
+	// the fidelity pipeline is byte-identical to the pre-decay behavior.
+	WernerRetention float64
+	// MinWernerScale is the substitution threshold of the bank's TrimPlan:
+	// a withdrawn segment whose decayed Werner scale fell below it no
+	// longer substitutes for planned creation attempts (the engine re-plans
+	// fresh attempts instead of leaning on a degraded photon). 0 keeps
+	// every withdrawn segment substituting, as before.
+	MinWernerScale float64
 }
 
 func (p Policy) window() int {
@@ -232,7 +246,16 @@ func (b *Bank) WithdrawAll() []*qnet.Segment {
 	})
 	out := make([]*qnet.Segment, len(b.entries))
 	b.withdrawnBirth = make(map[*qnet.Segment]int, len(b.entries))
+	decay := b.policy.WernerRetention > 0 && b.policy.WernerRetention < 1
 	for i, e := range b.entries {
+		if decay {
+			// Recomputed from total age at every withdrawal (never
+			// compounded on the stored scale), so a withdraw/re-deposit
+			// cycle cannot double-apply a boundary.
+			if age := b.slot - e.birth; age > 0 {
+				e.seg.SetWernerScale(math.Pow(b.policy.WernerRetention, float64(age)))
+			}
+		}
 		out[i] = e.seg
 		b.withdrawnBirth[e.seg] = e.birth
 		b.release(e.seg)
@@ -315,11 +338,24 @@ func (b *Bank) CheckConservation() error {
 // slots — and is returned unchanged (same map) when nothing trims; the
 // second result is the number of attempts removed.
 func TrimPlan(plan qnet.AttemptPlan, withdrawn []*qnet.Segment) (qnet.AttemptPlan, int) {
+	return TrimPlanMinScale(plan, withdrawn, 0)
+}
+
+// TrimPlanMinScale is TrimPlan with a substitution quality threshold:
+// withdrawn segments whose decayed Werner scale (qnet.Segment.WernerScale)
+// is below minScale do not substitute for planned attempts — a photon that
+// degraded past the threshold is worth less than a fresh Bernoulli(p)
+// attempt once delivered fidelity matters. minScale <= 0 keeps every
+// withdrawn segment substituting (exactly TrimPlan).
+func TrimPlanMinScale(plan qnet.AttemptPlan, withdrawn []*qnet.Segment, minScale float64) (qnet.AttemptPlan, int) {
 	if len(withdrawn) == 0 || len(plan) == 0 {
 		return plan, 0
 	}
 	avail := make(map[segment.PairKey]int, len(withdrawn))
 	for _, s := range withdrawn {
+		if minScale > 0 && s.WernerScale() < minScale {
+			continue
+		}
 		avail[s.Pair()]++
 	}
 	var out qnet.AttemptPlan
@@ -351,4 +387,16 @@ func TrimPlan(plan qnet.AttemptPlan, withdrawn []*qnet.Segment) (qnet.AttemptPla
 		return plan, 0
 	}
 	return out, trimmed
+}
+
+// TrimPlan is the policy-aware trim engines call per slot: it applies
+// Policy.MinWernerScale as the substitution threshold, so decayed carried
+// segments stop displacing fresh creation attempts once the policy says
+// they are too degraded. A nil bank (carry-over disabled) or a zero
+// threshold behaves exactly like the free TrimPlan.
+func (b *Bank) TrimPlan(plan qnet.AttemptPlan, withdrawn []*qnet.Segment) (qnet.AttemptPlan, int) {
+	if b == nil {
+		return TrimPlan(plan, withdrawn)
+	}
+	return TrimPlanMinScale(plan, withdrawn, b.policy.MinWernerScale)
 }

@@ -106,6 +106,7 @@ type solveKey struct {
 	connCap               []int
 	channels              []int
 	memory                []int
+	carryWeights          []float64
 }
 
 func makeSolveKey(o flow.Options) solveKey {
@@ -118,6 +119,7 @@ func makeSolveKey(o flow.Options) solveKey {
 		connCap:               cloneInts(o.ConnCap),
 		channels:              cloneInts(o.Channels),
 		memory:                cloneInts(o.Memory),
+		carryWeights:          cloneFloats(o.CarryWeights),
 	}
 }
 
@@ -129,7 +131,8 @@ func (k solveKey) equal(o solveKey) bool {
 		k.maxJunctions == o.maxJunctions &&
 		intsEqual(k.connCap, o.connCap) &&
 		intsEqual(k.channels, o.channels) &&
-		intsEqual(k.memory, o.memory)
+		intsEqual(k.memory, o.memory) &&
+		floatsEqual(k.carryWeights, o.carryWeights)
 }
 
 // cloneInts copies a capacity slice, preserving nilness: nil means "derive
@@ -145,6 +148,29 @@ func cloneInts(s []int) []int {
 }
 
 func intsEqual(a, b []int) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// cloneFloats copies a weight slice, preserving nilness (nil disables the
+// carry-aware pricing bias and must not collide with explicit weights).
+func cloneFloats(s []float64) []float64 {
+	if s == nil {
+		return nil
+	}
+	out := make([]float64, len(s))
+	copy(out, s)
+	return out
+}
+
+func floatsEqual(a, b []float64) bool {
 	if (a == nil) != (b == nil) || len(a) != len(b) {
 		return false
 	}

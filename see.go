@@ -25,6 +25,7 @@ import (
 
 	"see/internal/chaos"
 	"see/internal/engines"
+	"see/internal/qnet"
 	"see/internal/sched"
 	"see/internal/serve"
 	"see/internal/state"
@@ -67,6 +68,13 @@ const (
 	// leave the LP's column pricing and announced capacity reductions
 	// shrink the planning tables.
 	SEEAware = sched.SEEAware
+	// Oracle is the capacity-bound pseudo-scheduler: it establishes
+	// nothing and consumes no randomness, but its UpperBound is the
+	// network's summed expected entanglement capacity (per-pair min-cut
+	// over success-scaled channel counts), so a sweep that includes it can
+	// report every real scheme's throughput as a fraction of what the
+	// topology could theoretically deliver (see internal/oracle).
+	Oracle = sched.Oracle
 )
 
 // NetworkConfig mirrors the evaluation parameters of §IV-A.
@@ -269,7 +277,70 @@ type SchedulerOptions struct {
 	// topology mutation is detected by fingerprint and invalidates the
 	// affected entries. Nil disables warm starts.
 	Warm *WarmCache
+	// FidelityFloor is the per-request minimum delivered end-to-end
+	// fidelity (see DESIGN.md §10): the stitch phase predicts every
+	// candidate connection's fidelity under the Werner model before
+	// sampling its swaps and rolls back any assembly that would miss its
+	// SD pair's floor — the request is never attempted, its segments stay
+	// available, and the rejection is reported via IncidentFloorReject and
+	// SlotResult.FloorRejected. Parse a compact spec with ParseFloorSpec.
+	// Nil (or an all-zero spec) disables enforcement and leaves the
+	// scheduler byte-identical to the pre-floor pipeline.
+	FidelityFloor *FloorSpec
+	// SwapOrder selects the order a connection's junction swaps are
+	// sampled in: SwapOrderPath (the default, source to destination) or
+	// SwapOrderGreedy (least reliable junction first, so doomed
+	// connections fail before burning spare segments). Delivered fidelity
+	// is swap-order-independent; throughput is not.
+	SwapOrder SwapOrder
+	// CarryAwareLP, with CarryOver, re-prices the provisioning LP at the
+	// start of any slot that withdrew banked segments: segment-graph edges
+	// covered by carried inventory price cheaper in the column generation,
+	// so the plan leans into entanglement the network already holds.
+	// Without banked inventory (or without CarryOver) the slot runs the
+	// unmodified LP, byte-identical to the flag being off.
+	CarryAwareLP bool
+	// CarryWernerRetention, with CarryOver, ages banked segments: a
+	// segment withdrawn n slot boundaries after creation has its Werner
+	// parameter scaled by retention^n, degrading the fidelity of
+	// connections built from carried entanglement. 0 (or >= 1) disables
+	// aging. See state.Policy.WernerRetention.
+	CarryWernerRetention float64
+	// CarryMinWernerScale, with CarryOver, stops a withdrawn segment whose
+	// decayed Werner scale fell below the threshold from substituting for
+	// planned creation attempts (the plan re-attempts fresh entanglement
+	// instead). See state.Policy.MinWernerScale.
+	CarryMinWernerScale float64
 }
+
+// FloorSpec is a per-request fidelity-floor table: a default floor plus
+// per-SD-pair overrides. It is the canonical qnet.FloorSpec; build one
+// directly or with ParseFloorSpec.
+type FloorSpec = qnet.FloorSpec
+
+// ParseFloorSpec parses the compact fidelity-floor grammar shared with the
+// seesim -fidelity-floor flag: ';'-separated items, each either a bare
+// floor in [0,1] (the default) or pair=floor for one SD pair.
+//
+//	0.8          every pair needs fidelity ≥ 0.8
+//	0.8;3=0.95   pair 3 needs 0.95, everyone else 0.8
+//	2=0.9        only pair 2 is floored
+func ParseFloorSpec(s string) (*FloorSpec, error) { return qnet.ParseFloorSpec(s) }
+
+// SwapOrder selects the junction-swap sampling order of the stitch phase;
+// see SchedulerOptions.SwapOrder.
+type SwapOrder = qnet.SwapOrder
+
+// The swap-order policies.
+const (
+	// SwapOrderPath samples swaps in path order (the default).
+	SwapOrderPath = qnet.SwapOrderPath
+	// SwapOrderGreedy samples the least reliable junction first.
+	SwapOrderGreedy = qnet.SwapOrderGreedy
+)
+
+// ParseSwapOrder parses a swap-order name ("path" or "greedy").
+func ParseSwapOrder(s string) (SwapOrder, error) { return qnet.ParseSwapOrder(s) }
 
 // WarmCache memoizes scheduler-construction artifacts across rebuilds over
 // the same network; see SchedulerOptions.Warm. It is the canonical
@@ -373,6 +444,11 @@ const (
 	IncidentBrownout      = sched.IncidentBrownout
 	IncidentFlap          = sched.IncidentFlap
 	IncidentForecastAvoid = sched.IncidentForecastAvoid
+	// IncidentFloorReject counts candidate connection assemblies the
+	// stitch phase rolled back because their predicted end-to-end
+	// fidelity missed the request's floor (fires only with
+	// SchedulerOptions.FidelityFloor set).
+	IncidentFloorReject = sched.IncidentFloorReject
 )
 
 // FaultPlan is a deterministic fault schedule for a scheduler: node crash
@@ -431,6 +507,9 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		Workers:            o.Workers,
 		Tracer:             o.Tracer,
 		Warm:               o.Warm,
+		FidelityFloors:     o.FidelityFloor,
+		SwapOrder:          o.SwapOrder,
+		CarryAwareLP:       o.CarryAwareLP,
 	}
 	if o.Faults != nil {
 		inj, err := chaos.NewInjector(o.Faults, net.inner)
@@ -453,7 +532,11 @@ func NewScheduler(alg Algorithm, net *Network, pairs []SDPair, opts *SchedulerOp
 		// The bank's stochastic boundary hazard reuses the fault plan's
 		// decoherence knob and seed; without a plan the hazard is zero and
 		// only the age window drains the bank.
-		pol := state.Policy{CarrySlots: o.DecoherenceSlots}
+		pol := state.Policy{
+			CarrySlots:      o.DecoherenceSlots,
+			WernerRetention: o.CarryWernerRetention,
+			MinWernerScale:  o.CarryMinWernerScale,
+		}
 		if o.Faults != nil {
 			pol.Decoherence = o.Faults.Decoherence
 			pol.Seed = o.Faults.Seed
